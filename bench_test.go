@@ -1,0 +1,425 @@
+// Package repro's root benchmark harness: one benchmark per table and
+// figure of the paper's evaluation (see DESIGN.md §4 for the index).
+// Each benchmark regenerates its artifact end to end and reports the
+// headline quantity through b.ReportMetric so `go test -bench=.` prints
+// the paper-vs-measured comparison alongside timing.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/ndf"
+	"repro/internal/rng"
+	"repro/internal/signature"
+	"repro/internal/testbench"
+	"repro/internal/zone"
+)
+
+// FIG1: Lissajous composition, nominal vs +10% f0 (Fig. 1).
+func BenchmarkFig1Lissajous(b *testing.B) {
+	sys := core.Default()
+	var maxDev float64
+	for i := 0; i < b.N; i++ {
+		f, err := testbench.RunFig1(sys, 0.10, 512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxDev = 0
+		for j := range f.Golden {
+			dx := f.Golden[j].X - f.Defective[j].X
+			dy := f.Golden[j].Y - f.Defective[j].Y
+			if d := dx*dx + dy*dy; d > maxDev {
+				maxDev = d
+			}
+		}
+	}
+	b.ReportMetric(maxDev, "maxdev²")
+}
+
+// TAB1: the six monitor configurations (Table I).
+func BenchmarkTable1Configs(b *testing.B) {
+	var curves int
+	for i := 0; i < b.N; i++ {
+		curves = 0
+		for _, cfg := range monitor.TableI() {
+			a, err := monitor.NewAnalytic(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if pts := a.TraceBoundary(0, 1, 21); len(pts) > 0 {
+				curves++
+			}
+		}
+	}
+	b.ReportMetric(float64(curves), "curves")
+}
+
+// FIG4: experimental control curves from the transistor-level monitor
+// (one MNA-extracted boundary point per iteration) next to the analytic
+// family.
+func BenchmarkFig4Boundaries(b *testing.B) {
+	f, err := testbench.RunFig4(41)
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := 0
+	for _, c := range f.Curves {
+		total += len(c)
+	}
+	sm, err := monitor.NewSpice(monitor.TableI()[2], nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var y float64
+	for i := 0; i < b.N; i++ {
+		var ok bool
+		y, ok = sm.BoundaryY(0.4, 0, 1)
+		if !ok {
+			b.Fatal("no boundary at x=0.4")
+		}
+	}
+	b.ReportMetric(float64(total), "analytic_pts")
+	b.ReportMetric(y, "spice_y@0.4")
+}
+
+// FIG4-MC: Monte Carlo envelope of curve 3 (process + mismatch).
+func BenchmarkFig4MonteCarlo(b *testing.B) {
+	var inside float64
+	for i := 0; i < b.N; i++ {
+		env, err := testbench.RunFig4MC(2, 60, 15, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inside = env.NominalInsideEnvelope()
+	}
+	b.ReportMetric(inside, "nominal_inside")
+}
+
+// FIG6: zone codification — partition size and Gray-property check.
+func BenchmarkFig6ZoneMap(b *testing.B) {
+	bank := monitor.NewAnalyticTableI()
+	var zones, violations int
+	for i := 0; i < b.N; i++ {
+		zm, err := zone.Build(bank, 0, 1, 101)
+		if err != nil {
+			b.Fatal(err)
+		}
+		zones = zm.NumZones()
+		violations = len(zm.GrayViolations())
+	}
+	b.ReportMetric(float64(zones), "zones")
+	b.ReportMetric(float64(violations), "gray_violations")
+}
+
+// FIG7: signature chronogram and the headline NDF = 0.1021 at +10%.
+func BenchmarkFig7Chronogram(b *testing.B) {
+	sys := core.Default()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		f, err := testbench.RunFig7(sys, 0.10, 400)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v = f.NDF
+	}
+	// Paper reference value: 0.1021.
+	b.ReportMetric(v, "NDF@+10%")
+}
+
+// FIG8: the NDF-vs-deviation acceptance curve.
+func BenchmarkFig8NDFSweep(b *testing.B) {
+	sys := core.Default()
+	var left, right float64
+	for i := 0; i < b.N; i++ {
+		f, err := testbench.RunFig8(sys, 0.20, 9, 0.05)
+		if err != nil {
+			b.Fatal(err)
+		}
+		left, right = f.NDFs[0], f.NDFs[len(f.NDFs)-1]
+	}
+	b.ReportMetric(left, "NDF@-20%")
+	b.ReportMetric(right, "NDF@+20%")
+}
+
+// NOISE: detectability of 1% deviations under 3σ = 0.015 V noise.
+func BenchmarkNoiseDetection(b *testing.B) {
+	sys := core.Default()
+	var det1 float64
+	for i := 0; i < b.N; i++ {
+		n, err := testbench.RunNoiseDetection(sys, 0.005, []float64{0.01}, 8, 8, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		det1 = n.Detect[0]
+	}
+	b.ReportMetric(det1, "detect@1%")
+}
+
+// ABL-LIN: straight-line zoning baseline (refs [12][13]).
+func BenchmarkAblationLinearZoning(b *testing.B) {
+	sys := core.Default()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		a, err := testbench.RunAblLinear(sys, []float64{-0.10, 0.10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = a.LinearUm2 / a.NonlinearUm2
+	}
+	b.ReportMetric(ratio, "area_ratio_linear/nonlinear")
+}
+
+// ABL-CNT: counter width / master clock quantization.
+func BenchmarkAblationCounter(b *testing.B) {
+	sys := core.Default()
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		a, err := testbench.RunAblCounter(sys, 0.10, []int{8, 16}, []float64{1e6, 10e6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, row := range a.AbsErr {
+			for _, e := range row {
+				if e > worst {
+					worst = e
+				}
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst_NDF_error")
+}
+
+// ABL-REG: alternate-test regression baseline (ref [11]).
+func BenchmarkAblationRegression(b *testing.B) {
+	sys := core.Default()
+	var rmse float64
+	for i := 0; i < b.N; i++ {
+		a, err := testbench.RunAblRegression(sys,
+			[]float64{-0.20, -0.15, -0.10, -0.06, -0.03, 0, 0.03, 0.06, 0.10, 0.15, 0.20},
+			[]float64{-0.12, -0.04, 0.07, 0.12})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rmse = a.TestRMSE
+	}
+	b.ReportMetric(rmse, "heldout_RMSE")
+}
+
+// EXT-Q: Q-verification extension (band-pass observation).
+func BenchmarkExtensionQVerification(b *testing.B) {
+	sys := core.Default()
+	var bp20 float64
+	for i := 0; i < b.N; i++ {
+		e, err := testbench.RunExtQ(sys, []float64{0.20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bp20 = e.BPNDF[0]
+	}
+	b.ReportMetric(bp20, "BP_NDF@Q+20%")
+}
+
+// EXT-FAULTS: component-level fault campaign on the Tow-Thomas design.
+func BenchmarkExtensionFaultCampaign(b *testing.B) {
+	sys := core.Default()
+	dec, err := sys.CalibrateFromTolerance(0.05, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var coverage float64
+	for i := 0; i < b.N; i++ {
+		tab, err := testbench.RunFaultTable(sys, dec, testbench.DefaultFaultSet())
+		if err != nil {
+			b.Fatal(err)
+		}
+		coverage = tab.Coverage()
+	}
+	b.ReportMetric(coverage, "coverage")
+}
+
+// ABL-MET: NDF vs sequence edit distance (ref [12] comparison style).
+func BenchmarkAblationMetric(b *testing.B) {
+	sys := core.Default()
+	var ndfRes, editRes float64
+	for i := 0; i < b.N; i++ {
+		a, err := testbench.RunAblMetric(sys, []float64{-0.05, -0.02, -0.005, 0.005, 0.02, 0.05})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ndfRes, editRes = a.SmallestMoved()
+	}
+	b.ReportMetric(ndfRes, "NDF_resolution")
+	b.ReportMetric(editRes, "edit_resolution")
+}
+
+// EXT-TEMP: spurious NDF of a golden CUT vs monitor temperature.
+func BenchmarkExtensionTempDrift(b *testing.B) {
+	sys := core.Default()
+	var at350 float64
+	for i := 0; i < b.N; i++ {
+		td, err := testbench.RunTempDrift(sys, []float64{350})
+		if err != nil {
+			b.Fatal(err)
+		}
+		at350 = td.NDFs[0]
+	}
+	b.ReportMetric(at350, "NDF@350K")
+}
+
+// ABL-SPEC: dwell features vs Goertzel spectral features.
+func BenchmarkAblationSpectral(b *testing.B) {
+	sys := core.Default()
+	var rmse float64
+	for i := 0; i < b.N; i++ {
+		a, err := testbench.RunAblSpectral(sys,
+			[]float64{-0.20, -0.10, -0.03, 0, 0.03, 0.10, 0.20},
+			[]float64{-0.12, 0.07})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rmse = a.SpectralRMSE
+	}
+	b.ReportMetric(rmse, "spectral_RMSE")
+}
+
+// NOISE-SWEEP: resolution vs noise level.
+func BenchmarkNoiseResolutionSweep(b *testing.B) {
+	sys := core.Default()
+	var at5mV float64
+	for i := 0; i < b.N; i++ {
+		ns, err := testbench.RunNoiseSweep(sys, []float64{0.005},
+			[]float64{0.005, 0.01, 0.02, 0.05}, 6, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		at5mV = ns.MinDetectable[0]
+	}
+	b.ReportMetric(at5mV, "min_detectable@5mV")
+}
+
+// Pipeline micro-benchmarks (engineering numbers, not paper artifacts).
+
+func BenchmarkSignatureCapture(b *testing.B) {
+	sys := core.Default()
+	cls, err := sys.Classifier(sys.Golden.WithF0Shift(0.10), 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := signature.Capture(cls, sys.Period(), sys.Capture); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactSignature(b *testing.B) {
+	sys := core.Default()
+	p := sys.Golden.WithF0Shift(0.10)
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.ExactSignature(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNDFExact(b *testing.B) {
+	sys := core.Default()
+	g, err := sys.GoldenSignature()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := sys.ExactSignature(sys.Golden.WithF0Shift(0.10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ndf.NDF(d, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBankClassify(b *testing.B) {
+	bank := monitor.NewAnalyticTableI()
+	src := rng.New(1)
+	xs := make([]float64, 1024)
+	ys := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = src.Float64()
+		ys[i] = src.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bank.Classify(xs[i%1024], ys[i%1024])
+	}
+}
+
+func BenchmarkSpiceMonitorBit(b *testing.B) {
+	sm, err := monitor.NewSpice(monitor.TableI()[2], nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sm.BitErr(0.4, 0.6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// EXT-YIELD: production yield/escape/overkill simulation.
+func BenchmarkExtensionYield(b *testing.B) {
+	sys := core.Default()
+	dec, err := testbench.CalibrateMultiParam(sys, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var defect, overkill float64
+	for i := 0; i < b.N; i++ {
+		y, err := testbench.RunYield(sys, dec, 120, 0.02, 0.05, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defect, overkill = y.DefectLevel(), y.OverkillRate()
+	}
+	b.ReportMetric(defect, "defect_level")
+	b.ReportMetric(overkill, "overkill")
+}
+
+// EXT-CORNERS: spurious NDF of a golden CUT at foundry corners.
+func BenchmarkExtensionCorners(b *testing.B) {
+	sys := core.Default()
+	var ss float64
+	for i := 0; i < b.N; i++ {
+		cd, err := testbench.RunCornerDrift(sys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ss = cd.NDFs[1]
+	}
+	b.ReportMetric(ss, "NDF@SS")
+}
+
+// EXT-BIST: stuck-at monitor faults detected by the golden comparison.
+func BenchmarkExtensionSelfTest(b *testing.B) {
+	sys := core.Default()
+	dec, err := sys.CalibrateFromTolerance(0.05, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		st, err := testbench.RunSelfTest(sys, dec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cov = st.Coverage()
+	}
+	b.ReportMetric(cov, "stuckat_coverage")
+}

@@ -1,0 +1,75 @@
+// Command mcmon studies the monitor under process variation: it traces
+// one Table I boundary across Monte Carlo dies, prints the 95% envelope,
+// and shows the spread histogram of the boundary position at a chosen x.
+//
+// Usage:
+//
+//	mcmon -monitor 3 -dies 500 -x 0.4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/monitor"
+	"repro/internal/mos"
+	"repro/internal/rng"
+	"repro/internal/stat"
+	"repro/internal/testbench"
+)
+
+func main() {
+	var (
+		monIdx = flag.Int("monitor", 3, "Table I monitor number (1-6)")
+		dies   = flag.Int("dies", 500, "number of Monte Carlo dies")
+		x      = flag.Float64("x", 0.4, "x column for the spread histogram")
+		seed   = flag.Uint64("seed", 1, "Monte Carlo seed")
+	)
+	flag.Parse()
+	if err := run(*monIdx, *dies, *x, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "mcmon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(monIdx, dies int, x float64, seed uint64) error {
+	if monIdx < 1 || monIdx > 6 {
+		return fmt.Errorf("monitor number %d out of 1-6", monIdx)
+	}
+	env, err := testbench.RunFig4MC(monIdx-1, dies, 21, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(env.Render())
+
+	// Spread histogram at one column.
+	cfg := monitor.TableI()[monIdx-1]
+	a := monitor.MustAnalytic(cfg)
+	variation := mos.Default65nmVariation()
+	src := rng.New(seed + 1)
+	var ys []float64
+	for d := 0; d < dies; d++ {
+		die := variation.SampleDie(src.Split(uint64(d)))
+		devs := a.Devices()
+		for j := range devs {
+			devs[j] = die.Perturb(devs[j])
+		}
+		if y, ok := a.WithDevices(devs).BoundaryY(x, 0, 1); ok {
+			ys = append(ys, y)
+		}
+	}
+	if len(ys) == 0 {
+		fmt.Printf("\nno boundary crossing at x = %.3f\n", x)
+		return nil
+	}
+	sum := stat.Summarize(ys)
+	fmt.Printf("\nboundary y at x = %.3f over %d dies: mean %.4f, std %.4f, 95%% [%.4f, %.4f]\n",
+		x, len(ys), sum.Mean, sum.Std, sum.P2_5, sum.P97_5)
+	h := stat.NewHistogram(sum.Min-1e-6, sum.Max+1e-6, 15)
+	for _, y := range ys {
+		h.Push(y)
+	}
+	fmt.Print(h.ASCII(40))
+	return nil
+}

@@ -1,0 +1,21 @@
+// Command report runs the complete experiment suite and emits a fresh
+// paper-vs-measured summary (the data behind EXPERIMENTS.md) to stdout.
+//
+// Usage:
+//
+//	go run ./cmd/report
+package main
+
+import (
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/testbench"
+)
+
+func main() {
+	if err := testbench.WriteReport(os.Stdout, core.Default()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,243 @@
+// Command xyzone regenerates the paper's tables and figures from the
+// reproduction pipeline and prints them as text or CSV.
+//
+// Usage:
+//
+//	xyzone -tab 1                 # TABLE I input configurations
+//	xyzone -fig 1 [-shift 0.10]   # Lissajous traces (CSV)
+//	xyzone -fig 4                 # monitor control curves (CSV)
+//	xyzone -fig 4 -mc -monitor 3  # Monte Carlo envelope of one curve
+//	xyzone -fig 6                 # zone codification and traversals
+//	xyzone -fig 7 [-shift 0.10]   # signature chronogram + NDF
+//	xyzone -fig 8 [-tol 0.05]     # NDF sweep with PASS/FAIL bands
+//	xyzone -noise                 # noise detection experiment
+//	xyzone -abl linear|counter|regress
+//	xyzone -ext q|faults|temp|spectral|metric|noisesweep|yield|stimopt|selftest|corners
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/testbench"
+	"repro/internal/zone"
+)
+
+func main() {
+	var (
+		fig    = flag.Int("fig", 0, "figure number to regenerate (1, 4, 6, 7, 8)")
+		tab    = flag.Int("tab", 0, "table number to regenerate (1)")
+		shift  = flag.Float64("shift", 0.10, "fractional f0 deviation for defective CUT")
+		tol    = flag.Float64("tol", 0.05, "tolerance band for Fig. 8 calibration")
+		points = flag.Int("points", 41, "sweep/trace resolution")
+		mc     = flag.Bool("mc", false, "with -fig 4: emit a Monte Carlo envelope")
+		monIdx = flag.Int("monitor", 3, "with -mc: Table I monitor number (1-6)")
+		dies   = flag.Int("dies", 200, "with -mc: Monte Carlo die count")
+		noise  = flag.Bool("noise", false, "run the noise detection experiment")
+		abl    = flag.String("abl", "", "ablation to run: linear, counter, regress")
+		ext    = flag.String("ext", "", "extension to run: q (Q verification), faults (component campaign)")
+		seed   = flag.Uint64("seed", 1, "random seed for stochastic experiments")
+	)
+	flag.Parse()
+	if *ext != "" {
+		if err := runExt(*ext, *tol); err != nil {
+			fmt.Fprintln(os.Stderr, "xyzone:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*fig, *tab, *shift, *tol, *points, *mc, *monIdx, *dies, *noise, *abl, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "xyzone:", err)
+		os.Exit(1)
+	}
+}
+
+func runExt(ext string, tol float64) error {
+	sys := core.Default()
+	switch ext {
+	case "q":
+		e, err := testbench.RunExtQ(sys, []float64{-0.40, -0.20, -0.10, 0.10, 0.20, 0.40})
+		if err != nil {
+			return err
+		}
+		fmt.Print(e.Render())
+		return nil
+	case "faults":
+		dec, err := sys.CalibrateFromTolerance(tol, 9)
+		if err != nil {
+			return err
+		}
+		tab, err := testbench.RunFaultTable(sys, dec, testbench.DefaultFaultSet())
+		if err != nil {
+			return err
+		}
+		fmt.Print(tab.Render())
+		return nil
+	case "corners":
+		cd, err := testbench.RunCornerDrift(sys)
+		if err != nil {
+			return err
+		}
+		fmt.Print(cd.Render())
+		return nil
+	case "temp":
+		td, err := testbench.RunTempDrift(sys, []float64{233, 273, 300, 323, 358, 398})
+		if err != nil {
+			return err
+		}
+		fmt.Print(td.Render())
+		return nil
+	case "spectral":
+		a, err := testbench.RunAblSpectral(sys,
+			[]float64{-0.20, -0.15, -0.10, -0.06, -0.03, 0, 0.03, 0.06, 0.10, 0.15, 0.20},
+			[]float64{-0.12, -0.04, 0.07, 0.12})
+		if err != nil {
+			return err
+		}
+		fmt.Print(a.Render())
+		return nil
+	case "metric":
+		m, err := testbench.RunAblMetric(sys,
+			[]float64{-0.10, -0.05, -0.02, -0.005, 0.005, 0.02, 0.05, 0.10})
+		if err != nil {
+			return err
+		}
+		fmt.Print(m.Render())
+		return nil
+	case "yield":
+		dec, err := testbench.CalibrateMultiParam(sys, tol)
+		if err != nil {
+			return err
+		}
+		y, err := testbench.RunYield(sys, dec, 400, 0.02, tol, 11)
+		if err != nil {
+			return err
+		}
+		fmt.Print(y.Render())
+		return nil
+	case "selftest":
+		dec, err := sys.CalibrateFromTolerance(tol, 9)
+		if err != nil {
+			return err
+		}
+		st, err := testbench.RunSelfTest(sys, dec)
+		if err != nil {
+			return err
+		}
+		fmt.Print(st.Render())
+		return nil
+	case "stimopt":
+		opt, err := testbench.RunStimOpt(sys, 0.05, 6)
+		if err != nil {
+			return err
+		}
+		fmt.Print(opt.Render())
+		return nil
+	case "noisesweep":
+		ns, err := testbench.RunNoiseSweep(sys,
+			[]float64{0.002, 0.005, 0.01, 0.02},
+			[]float64{0.005, 0.01, 0.02, 0.05, 0.10}, 10, 7)
+		if err != nil {
+			return err
+		}
+		fmt.Print(ns.Render())
+		return nil
+	default:
+		return fmt.Errorf("unknown extension %q (want q, faults, temp, spectral, metric, noisesweep, yield, stimopt, selftest or corners)", ext)
+	}
+}
+
+func run(fig, tab int, shift, tol float64, points int, mc bool, monIdx, dies int, noise bool, abl string, seed uint64) error {
+	sys := core.Default()
+	switch {
+	case noise:
+		n, err := testbench.RunNoiseDetection(sys, 0.005,
+			[]float64{0.005, 0.01, 0.02, 0.05}, 20, 20, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(n.Render())
+		return nil
+	case abl == "linear":
+		a, err := testbench.RunAblLinear(sys, []float64{-0.15, -0.10, -0.05, -0.02, 0.02, 0.05, 0.10, 0.15})
+		if err != nil {
+			return err
+		}
+		fmt.Print(a.Render())
+		return nil
+	case abl == "counter":
+		a, err := testbench.RunAblCounter(sys, shift, []int{8, 12, 16}, []float64{1e6, 10e6, 100e6})
+		if err != nil {
+			return err
+		}
+		fmt.Print(a.Render())
+		return nil
+	case abl == "regress":
+		a, err := testbench.RunAblRegression(sys,
+			[]float64{-0.20, -0.15, -0.10, -0.06, -0.03, 0, 0.03, 0.06, 0.10, 0.15, 0.20},
+			[]float64{-0.12, -0.04, 0.07, 0.12})
+		if err != nil {
+			return err
+		}
+		fmt.Print(a.Render())
+		return nil
+	case abl != "":
+		return fmt.Errorf("unknown ablation %q (want linear, counter or regress)", abl)
+	case tab == 1:
+		fmt.Print(testbench.RunTable1().Render())
+		return nil
+	case fig == 1:
+		f, err := testbench.RunFig1(sys, shift, 512)
+		if err != nil {
+			return err
+		}
+		fmt.Print(f.CSV())
+		return nil
+	case fig == 4 && mc:
+		f, err := testbench.RunFig4MC(monIdx-1, dies, points, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(f.Render())
+		return nil
+	case fig == 4:
+		f, err := testbench.RunFig4(points)
+		if err != nil {
+			return err
+		}
+		fmt.Print(f.CSV())
+		return nil
+	case fig == 6:
+		f, err := testbench.RunFig6(sys, shift, 101)
+		if err != nil {
+			return err
+		}
+		fmt.Print(f.Render())
+		zm, err := zone.Build(sys.Bank, 0, 1, 101)
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nzone partition (one glyph per zone, origin lower-left):")
+		fmt.Print(zm.ASCIIArt(72, 36))
+		return nil
+	case fig == 7:
+		f, err := testbench.RunFig7(sys, shift, 400)
+		if err != nil {
+			return err
+		}
+		fmt.Print(f.Render())
+		fmt.Print(f.CSV())
+		return nil
+	case fig == 8:
+		f, err := testbench.RunFig8(sys, 0.20, points, tol)
+		if err != nil {
+			return err
+		}
+		fmt.Print(f.Render())
+		return nil
+	default:
+		return fmt.Errorf("nothing selected; use -fig, -tab, -noise or -abl (see -h)")
+	}
+}

@@ -1,0 +1,68 @@
+// monitor_mc regenerates the Fig. 4 study: the six Table I control
+// curves traced from the monitor model, cross-checked at transistor level
+// with the MNA simulator, plus a Monte Carlo process/mismatch envelope —
+// the paper's validation that measured boundaries lie in the predicted
+// Monte Carlo range.
+//
+// Run with: go run ./examples/monitor_mc
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/monitor"
+	"repro/internal/testbench"
+)
+
+func main() {
+	// Nominal boundary traces of all six Table I configurations.
+	fig, err := testbench.RunFig4(21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Table I control curves (analytic current-balance model):")
+	for i, pts := range fig.Curves {
+		fmt.Printf("  curve %d (%s): %d boundary points", i+1, fig.Names[i], len(pts))
+		if len(pts) > 0 {
+			fmt.Printf(", e.g. (%.2f, %.2f) ... (%.2f, %.2f)",
+				pts[0].X, pts[0].Y, pts[len(pts)-1].X, pts[len(pts)-1].Y)
+		}
+		fmt.Println()
+	}
+
+	// Transistor-level cross-check of the curve-3 arc: the Fig. 2
+	// netlist (8 MOSFETs, solved by Newton-Raphson MNA) must place the
+	// boundary where the design equations say.
+	cfg := monitor.TableI()[2]
+	sm, err := monitor.NewSpice(cfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	am := monitor.MustAnalytic(cfg)
+	fmt.Println("\ncurve 3 boundary: analytic vs transistor-level MNA:")
+	for _, x := range []float64{0.25, 0.40, 0.55} {
+		ya, okA := am.BoundaryY(x, 0, 1)
+		ys, okS := sm.BoundaryY(x, 0, 1)
+		if !okA || !okS {
+			fmt.Printf("  x = %.2f: no crossing\n", x)
+			continue
+		}
+		fmt.Printf("  x = %.2f: analytic y = %.4f, spice y = %.4f (|Δ| = %.4f)\n",
+			x, ya, ys, math.Abs(ya-ys))
+	}
+
+	// Monte Carlo envelope (process corners + Pelgrom mismatch).
+	env, err := testbench.RunFig4MC(2, 300, 15, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(env.Render())
+
+	// Area accounting from the published layout numbers.
+	est := monitor.EstimateArea(cfg)
+	fmt.Printf("\narea model: core %.2f µm², with output stage %.2f µm² (published: %.2f / %.2f)\n",
+		est.CoreUm2, est.TotalUm2, monitor.RefCoreAreaUm2, monitor.RefTotalAreaUm2)
+}

@@ -1,0 +1,34 @@
+// noise_detect reproduces the paper's noise experiment: with white
+// measurement noise of 3σ = 0.015 V on both monitored signals, natural
+// frequency deviations as small as 1% remain detectable.
+//
+// Run with: go run ./examples/noise_detect
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/testbench"
+)
+
+func main() {
+	sys := core.Default()
+	const sigma = 0.005 // 3σ = 0.015 V, the paper's condition
+
+	fmt.Printf("measurement noise: sigma = %.3f V (3σ = %.3f V)\n\n", sigma, 3*sigma)
+	res, err := testbench.RunNoiseDetection(sys, sigma,
+		[]float64{0.005, 0.01, 0.02, 0.05, 0.10}, 25, 25, 2024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Render())
+	fmt.Println("\npaper claim: deviations as low as 1% in f0 are detected under this noise.")
+	if len(res.Detect) >= 2 && res.Detect[1] > res.FalseRate {
+		fmt.Printf("reproduced: 1%% detection rate %.2f exceeds false-alarm rate %.2f\n",
+			res.Detect[1], res.FalseRate)
+	} else {
+		fmt.Println("NOT reproduced under the current configuration — inspect the noise floor.")
+	}
+}

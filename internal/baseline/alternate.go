@@ -1,0 +1,99 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/monitor"
+	"repro/internal/signature"
+	"repro/internal/stat"
+)
+
+// Features extracts the alternate-test feature vector from a signature:
+// the fraction of the period spent in each zone of a fixed code
+// vocabulary, plus a leading intercept term. Zones absent from the
+// signature contribute zero — the standard dwell-time histogram feature
+// used by signature-test regression flows (ref [11]).
+type Features struct {
+	Vocabulary []monitor.Code // fixed zone ordering shared by train/test
+}
+
+// NewFeatures builds the vocabulary from a set of reference signatures
+// (typically the training sweep), sorted by code value.
+func NewFeatures(sigs ...*signature.Signature) Features {
+	seen := make(map[monitor.Code]bool)
+	for _, s := range sigs {
+		for _, e := range s.Entries {
+			seen[e.Code] = true
+		}
+	}
+	vocab := make([]monitor.Code, 0, len(seen))
+	for c := range seen {
+		vocab = append(vocab, c)
+	}
+	sort.Slice(vocab, func(i, j int) bool { return vocab[i] < vocab[j] })
+	return Features{Vocabulary: vocab}
+}
+
+// Vector returns [1, dwellFrac(zone_1), …, dwellFrac(zone_k)].
+func (f Features) Vector(s *signature.Signature) []float64 {
+	idx := make(map[monitor.Code]int, len(f.Vocabulary))
+	for i, c := range f.Vocabulary {
+		idx[c] = i
+	}
+	v := make([]float64, len(f.Vocabulary)+1)
+	v[0] = 1
+	for _, e := range s.Entries {
+		if i, ok := idx[e.Code]; ok {
+			v[i+1] += e.Dur / s.Period
+		}
+	}
+	return v
+}
+
+// Regressor is a trained alternate-test model predicting a circuit
+// parameter (here: fractional f0 deviation) from signature features.
+type Regressor struct {
+	feats Features
+	beta  []float64
+}
+
+// TrainRegressor fits the model on signatures with known deviations.
+func TrainRegressor(sigs []*signature.Signature, devs []float64) (*Regressor, error) {
+	if len(sigs) != len(devs) || len(sigs) == 0 {
+		return nil, fmt.Errorf("baseline: training needs matched signatures and labels")
+	}
+	feats := NewFeatures(sigs...)
+	X := make([][]float64, len(sigs))
+	for i, s := range sigs {
+		X[i] = feats.Vector(s)
+	}
+	beta, err := stat.MultiFit(X, devs)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: regression fit: %w", err)
+	}
+	return &Regressor{feats: feats, beta: beta}, nil
+}
+
+// Predict estimates the deviation of a CUT from its signature.
+func (r *Regressor) Predict(s *signature.Signature) float64 {
+	v := r.feats.Vector(s)
+	out := 0.0
+	for i, b := range r.beta {
+		out += b * v[i]
+	}
+	return out
+}
+
+// EvaluateRegressor returns the RMSE of predictions over a labelled
+// evaluation set.
+func EvaluateRegressor(r *Regressor, sigs []*signature.Signature, devs []float64) (float64, error) {
+	if len(sigs) != len(devs) || len(sigs) == 0 {
+		return 0, fmt.Errorf("baseline: evaluation needs matched signatures and labels")
+	}
+	pred := make([]float64, len(sigs))
+	for i, s := range sigs {
+		pred[i] = r.Predict(s)
+	}
+	return stat.RMSE(pred, devs), nil
+}

@@ -1,0 +1,75 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stat"
+	"repro/internal/wave"
+)
+
+// ToleranceBandTest is the classic transient-test baseline (ref [7]): the
+// CUT's sampled response must stay within ±Epsilon of the golden response
+// at every sample instant.
+type ToleranceBandTest struct {
+	Golden  wave.Record
+	Epsilon float64
+}
+
+// NewToleranceBandTest builds the test from a golden record and a band
+// half-width.
+func NewToleranceBandTest(golden wave.Record, eps float64) (*ToleranceBandTest, error) {
+	if len(golden.V) == 0 {
+		return nil, fmt.Errorf("baseline: empty golden record")
+	}
+	if eps <= 0 {
+		return nil, fmt.Errorf("baseline: tolerance band %g must be positive", eps)
+	}
+	return &ToleranceBandTest{Golden: golden, Epsilon: eps}, nil
+}
+
+// Result summarizes one tolerance-band comparison.
+type Result struct {
+	Pass         bool
+	OutFraction  float64 // fraction of samples outside the band
+	MaxDeviation float64 // largest |CUT − golden|
+}
+
+// Run compares a CUT record (same sampling grid) against the band.
+func (t *ToleranceBandTest) Run(cut wave.Record) (Result, error) {
+	if len(cut.V) != len(t.Golden.V) {
+		return Result{}, fmt.Errorf("baseline: record length %d != golden %d", len(cut.V), len(t.Golden.V))
+	}
+	out := 0
+	worst := 0.0
+	for i := range cut.V {
+		d := math.Abs(cut.V[i] - t.Golden.V[i])
+		if d > worst {
+			worst = d
+		}
+		if d > t.Epsilon {
+			out++
+		}
+	}
+	frac := float64(out) / float64(len(cut.V))
+	return Result{Pass: out == 0, OutFraction: frac, MaxDeviation: worst}, nil
+}
+
+// CalibrateEpsilon chooses the band half-width as the given quantile of
+// |good − golden| deviations across a set of known-good records — the
+// standard way the transient-test threshold is set in practice.
+func CalibrateEpsilon(golden wave.Record, goods []wave.Record, quantile float64) (float64, error) {
+	if len(goods) == 0 {
+		return 0, fmt.Errorf("baseline: no good records")
+	}
+	var devs []float64
+	for _, g := range goods {
+		if len(g.V) != len(golden.V) {
+			return 0, fmt.Errorf("baseline: record length mismatch")
+		}
+		for i := range g.V {
+			devs = append(devs, math.Abs(g.V[i]-golden.V[i]))
+		}
+	}
+	return stat.Quantile(devs, quantile), nil
+}

@@ -1,0 +1,36 @@
+package biquad_test
+
+import (
+	"fmt"
+
+	"repro/internal/biquad"
+)
+
+// Synthesize the Tow-Thomas components for the paper's Biquad and read
+// the behavioural parameters back.
+func ExampleDesignTowThomas() {
+	comps, err := biquad.DesignTowThomas(biquad.Params{F0: 10e3, Q: 0.9, Gain: 1}, 1e-9)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	p, _ := comps.Params()
+	fmt.Printf("f0 = %.0f Hz, Q = %.2f, R = %.0f ohm\n", p.F0, p.Q, comps.R)
+	// Output:
+	// f0 = 10000 Hz, Q = 0.90, R = 15915 ohm
+}
+
+// Inject the paper's +10% natural-frequency deviation as a capacitor
+// drift and observe the behavioural effect.
+func ExampleFault_Apply() {
+	comps, _ := biquad.DesignTowThomas(biquad.Params{F0: 10e3, Q: 0.9, Gain: 1}, 1e-9)
+	faulty := biquad.Fault{
+		Kind:   biquad.FaultParametric,
+		Target: biquad.TargetC,
+		Frac:   -1.0 / 11, // C low by 9.09% -> f0 up 10%
+	}.Apply(comps)
+	p, _ := faulty.Params()
+	fmt.Printf("faulty f0 = %.0f Hz\n", p.F0)
+	// Output:
+	// faulty f0 = 11000 Hz
+}

@@ -1,0 +1,160 @@
+package biquad
+
+import (
+	"fmt"
+	"math"
+)
+
+// Components holds the element values of a simplified Tow-Thomas
+// realization of the low-pass biquad (equal integrator time constants):
+//
+//	f0   = 1 / (2π·R·C)
+//	Q    = RQ / R
+//	Gain = R / RG
+//
+// This is the standard design-equation form used when both integrator
+// resistors and capacitors are drawn equal; it lets faults be injected at
+// component level (a resistor drift moves f0 and gain together, exactly
+// as a physical defect would).
+type Components struct {
+	R  float64 // integrator resistor, Ω
+	RQ float64 // damping resistor, Ω
+	RG float64 // input (gain) resistor, Ω
+	C  float64 // integrator capacitor, F
+}
+
+// Validate checks component sanity.
+func (c Components) Validate() error {
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{{"R", c.R}, {"RQ", c.RQ}, {"RG", c.RG}, {"C", c.C}} {
+		if v.val <= 0 || math.IsInf(v.val, 0) || math.IsNaN(v.val) {
+			return fmt.Errorf("biquad: component %s = %g must be positive and finite", v.name, v.val)
+		}
+	}
+	return nil
+}
+
+// Params derives the behavioural parameters from component values.
+func (c Components) Params() (Params, error) {
+	if err := c.Validate(); err != nil {
+		return Params{}, err
+	}
+	return Params{
+		F0:   1 / (2 * math.Pi * c.R * c.C),
+		Q:    c.RQ / c.R,
+		Gain: c.R / c.RG,
+	}, nil
+}
+
+// DesignTowThomas synthesizes component values realizing the given
+// behavioural parameters with the chosen capacitor value.
+func DesignTowThomas(p Params, c float64) (Components, error) {
+	if err := p.Validate(); err != nil {
+		return Components{}, err
+	}
+	if c <= 0 {
+		return Components{}, fmt.Errorf("biquad: capacitor %g must be positive", c)
+	}
+	r := 1 / (2 * math.Pi * p.F0 * c)
+	return Components{R: r, RQ: p.Q * r, RG: r / p.Gain, C: c}, nil
+}
+
+// FaultKind enumerates injectable defects.
+type FaultKind int
+
+// Supported fault classes: parametric drift of one component, and the
+// two classic catastrophic defects.
+const (
+	// FaultParametric scales a component by (1 + Frac).
+	FaultParametric FaultKind = iota
+	// FaultOpen models an open component (resistance -> openFactor×,
+	// capacitance -> 1/openFactor×).
+	FaultOpen
+	// FaultShort models a shorted component (resistance -> 1/openFactor×,
+	// capacitance -> openFactor×).
+	FaultShort
+)
+
+// Target selects the component a fault applies to.
+type Target int
+
+// Fault targets.
+const (
+	TargetR Target = iota
+	TargetRQ
+	TargetRG
+	TargetC
+)
+
+// String implements fmt.Stringer.
+func (t Target) String() string {
+	switch t {
+	case TargetR:
+		return "R"
+	case TargetRQ:
+		return "RQ"
+	case TargetRG:
+		return "RG"
+	default:
+		return "C"
+	}
+}
+
+// openFactor is the impedance ratio used to approximate catastrophic
+// defects while keeping the behavioural model well-defined.
+const openFactor = 1e6
+
+// Fault is a component-level defect.
+type Fault struct {
+	Kind   FaultKind
+	Target Target
+	Frac   float64 // parametric drift fraction, used by FaultParametric
+}
+
+// Apply returns the component set with the fault injected.
+func (f Fault) Apply(c Components) Components {
+	scale := 1.0
+	switch f.Kind {
+	case FaultParametric:
+		scale = 1 + f.Frac
+	case FaultOpen:
+		scale = openFactor
+	case FaultShort:
+		scale = 1 / openFactor
+	}
+	out := c
+	switch f.Target {
+	case TargetR:
+		out.R *= scale
+	case TargetRQ:
+		out.RQ *= scale
+	case TargetRG:
+		out.RG *= scale
+	case TargetC:
+		// An open capacitor loses capacitance; a short gains it. The
+		// parametric case scales directly.
+		switch f.Kind {
+		case FaultOpen:
+			out.C /= openFactor
+		case FaultShort:
+			out.C *= openFactor
+		default:
+			out.C *= scale
+		}
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (f Fault) String() string {
+	switch f.Kind {
+	case FaultOpen:
+		return fmt.Sprintf("open(%s)", f.Target)
+	case FaultShort:
+		return fmt.Sprintf("short(%s)", f.Target)
+	default:
+		return fmt.Sprintf("%s%+.1f%%", f.Target, f.Frac*100)
+	}
+}

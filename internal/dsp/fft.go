@@ -1,0 +1,230 @@
+// Package dsp is the signal-processing substrate: FFT, spectra, windows,
+// interpolation, and numerical integration. The paper's workflow is
+// MATLAB-shaped (repro note: Go has no DSP standard library), so the
+// pieces the experiments need are implemented here from scratch on
+// complex128/float64 slices.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the in-place-free discrete Fourier transform of x.
+// Power-of-two lengths use an iterative radix-2 Cooley-Tukey; all other
+// lengths use Bluestein's algorithm so callers never need to pad.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) == 0 {
+		out := append([]complex128(nil), x...)
+		radix2(out, false)
+		return out
+	}
+	return bluestein(x, false)
+}
+
+// IFFT computes the inverse DFT (including the 1/n normalization).
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	var out []complex128
+	if n&(n-1) == 0 {
+		out = append([]complex128(nil), x...)
+		radix2(out, true)
+	} else {
+		out = bluestein(x, true)
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// radix2 runs an iterative bit-reversal Cooley-Tukey FFT in place.
+// len(x) must be a power of two.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 1 {
+		return
+	}
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Rect(1, step)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT as a convolution, which is
+// evaluated with power-of-two FFTs.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp: w[k] = exp(sign*i*pi*k^2/n)
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k*k may overflow for huge n; modulo 2n keeps the angle exact.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	scale := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * scale * chirp[k]
+	}
+	return out
+}
+
+// FFTReal transforms a real signal, returning the full complex spectrum.
+func FFTReal(x []float64) []complex128 {
+	cx := make([]complex128, len(x))
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	return FFT(cx)
+}
+
+// Spectrum holds a one-sided amplitude/phase spectrum of a real signal.
+type Spectrum struct {
+	Freq  []float64 // bin frequencies in Hz
+	Amp   []float64 // single-sided amplitude (volts for a voltage signal)
+	Phase []float64 // radians
+}
+
+// AmplitudeSpectrum returns the single-sided spectrum of real samples x
+// taken at sample rate fs. DC and (for even n) Nyquist bins are not
+// doubled.
+func AmplitudeSpectrum(x []float64, fs float64) Spectrum {
+	n := len(x)
+	if n == 0 {
+		return Spectrum{}
+	}
+	X := FFTReal(x)
+	half := n/2 + 1
+	sp := Spectrum{
+		Freq:  make([]float64, half),
+		Amp:   make([]float64, half),
+		Phase: make([]float64, half),
+	}
+	for k := 0; k < half; k++ {
+		sp.Freq[k] = float64(k) * fs / float64(n)
+		mag := cmplx.Abs(X[k]) / float64(n)
+		if k != 0 && !(n%2 == 0 && k == n/2) {
+			mag *= 2
+		}
+		sp.Amp[k] = mag
+		sp.Phase[k] = cmplx.Phase(X[k])
+	}
+	return sp
+}
+
+// DominantBin returns the index of the largest non-DC amplitude bin.
+func (s Spectrum) DominantBin() int {
+	best, bestAmp := 1, 0.0
+	for k := 1; k < len(s.Amp); k++ {
+		if s.Amp[k] > bestAmp {
+			best, bestAmp = k, s.Amp[k]
+		}
+	}
+	return best
+}
+
+// Goertzel evaluates the DFT of real samples x (sample rate fs) at a
+// single frequency f using the Goertzel recurrence — the cheap way to
+// measure one tone's complex amplitude without a full FFT, used by the
+// spectral alternate-test baseline. The result is normalized like a
+// single-sided spectrum bin: |result| is the tone's amplitude when f
+// lands on a coherent bin.
+func Goertzel(x []float64, fs, f float64) complex128 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	w := 2 * math.Pi * f / fs
+	cw, sw := math.Cos(w), math.Sin(w)
+	coeff := 2 * cw
+	var s0, s1, s2 float64
+	for _, v := range x {
+		s0 = v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	re := s1*cw - s2
+	im := s1 * sw
+	scale := 2 / float64(n)
+	if f == 0 {
+		scale = 1 / float64(n)
+	}
+	return complex(re*scale, im*scale)
+}
+
+// THD returns the total harmonic distortion (ratio, not dB) of the signal
+// assuming fundamental at bin f0Bin: sqrt(sum harmonics^2)/fundamental.
+func (s Spectrum) THD(f0Bin, nHarm int) (float64, error) {
+	if f0Bin <= 0 || f0Bin >= len(s.Amp) {
+		return 0, fmt.Errorf("dsp: fundamental bin %d out of range", f0Bin)
+	}
+	fund := s.Amp[f0Bin]
+	if fund == 0 {
+		return 0, fmt.Errorf("dsp: zero fundamental")
+	}
+	sum := 0.0
+	for h := 2; h <= nHarm; h++ {
+		k := f0Bin * h
+		if k >= len(s.Amp) {
+			break
+		}
+		sum += s.Amp[k] * s.Amp[k]
+	}
+	return math.Sqrt(sum) / fund, nil
+}

@@ -1,0 +1,198 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// naiveDFT is the O(n^2) reference implementation.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			s += x[t] * cmplx.Rect(1, ang)
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func complexClose(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFFTMatchesNaivePow2(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.Norm(), r.Norm())
+		}
+		if !complexClose(FFT(x), naiveDFT(x), 1e-8*float64(n)) {
+			t.Fatalf("FFT disagrees with naive DFT at n=%d", n)
+		}
+	}
+}
+
+func TestFFTMatchesNaiveNonPow2(t *testing.T) {
+	r := rng.New(2)
+	for _, n := range []int{3, 5, 6, 7, 12, 100, 135} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.Norm(), r.Norm())
+		}
+		if !complexClose(FFT(x), naiveDFT(x), 1e-7*float64(n)) {
+			t.Fatalf("Bluestein FFT disagrees with naive DFT at n=%d", n)
+		}
+	}
+}
+
+func TestIFFTInverts(t *testing.T) {
+	r := rng.New(3)
+	for _, n := range []int{8, 15, 64, 100} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.Norm(), r.Norm())
+		}
+		back := IFFT(FFT(x))
+		if !complexClose(back, x, 1e-9*float64(n)) {
+			t.Fatalf("IFFT(FFT(x)) != x for n=%d", n)
+		}
+	}
+}
+
+func TestFFTEmpty(t *testing.T) {
+	if out := FFT(nil); out != nil {
+		t.Fatal("FFT(nil) should be nil")
+	}
+	if out := IFFT(nil); out != nil {
+		t.Fatal("IFFT(nil) should be nil")
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// DFT of a unit impulse is all ones.
+	x := make([]complex128, 16)
+	x[0] = 1
+	X := FFT(x)
+	for k, v := range X {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse spectrum bin %d = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestAmplitudeSpectrumSingleTone(t *testing.T) {
+	fs := 1000.0
+	n := 1000
+	f := 50.0
+	amp := 0.7
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 0.2 + amp*math.Sin(2*math.Pi*f*float64(i)/fs)
+	}
+	sp := AmplitudeSpectrum(x, fs)
+	// DC bin.
+	if math.Abs(sp.Amp[0]-0.2) > 1e-9 {
+		t.Fatalf("DC amplitude = %v, want 0.2", sp.Amp[0])
+	}
+	// Tone bin: 50 Hz -> bin 50 with 1 Hz resolution.
+	if math.Abs(sp.Amp[50]-amp) > 1e-9 {
+		t.Fatalf("tone amplitude = %v, want %v", sp.Amp[50], amp)
+	}
+	if sp.DominantBin() != 50 {
+		t.Fatalf("DominantBin = %d, want 50", sp.DominantBin())
+	}
+	if math.Abs(sp.Freq[50]-50) > 1e-9 {
+		t.Fatalf("Freq[50] = %v, want 50", sp.Freq[50])
+	}
+}
+
+func TestTHD(t *testing.T) {
+	fs := 1000.0
+	n := 1000
+	x := make([]float64, n)
+	for i := range x {
+		ti := float64(i) / fs
+		x[i] = math.Sin(2*math.Pi*10*ti) + 0.1*math.Sin(2*math.Pi*20*ti)
+	}
+	sp := AmplitudeSpectrum(x, fs)
+	thd, err := sp.THD(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(thd-0.1) > 1e-6 {
+		t.Fatalf("THD = %v, want 0.1", thd)
+	}
+	if _, err := sp.THD(0, 3); err == nil {
+		t.Fatal("THD should reject bin 0")
+	}
+}
+
+// Property: Parseval's theorem, sum |x|^2 == (1/n) sum |X|^2.
+func TestParsevalProperty(t *testing.T) {
+	prop := func(seed uint64, odd bool) bool {
+		r := rng.New(seed)
+		n := 64
+		if odd {
+			n = 63
+		}
+		x := make([]complex128, n)
+		var te float64
+		for i := range x {
+			x[i] = complex(r.Norm(), r.Norm())
+			te += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		X := FFT(x)
+		var fe float64
+		for _, v := range X {
+			fe += real(v)*real(v) + imag(v)*imag(v)
+		}
+		fe /= float64(n)
+		return math.Abs(te-fe) < 1e-7*(1+te)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FFT is linear.
+func TestFFTLinearityProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 32
+		a := make([]complex128, n)
+		b := make([]complex128, n)
+		sum := make([]complex128, n)
+		for i := range a {
+			a[i] = complex(r.Norm(), 0)
+			b[i] = complex(r.Norm(), 0)
+			sum[i] = 2*a[i] + 3*b[i]
+		}
+		A, B, S := FFT(a), FFT(b), FFT(sum)
+		for i := range S {
+			if cmplx.Abs(S[i]-(2*A[i]+3*B[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

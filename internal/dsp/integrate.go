@@ -1,0 +1,104 @@
+package dsp
+
+import "math"
+
+// TrapzUniform integrates samples y taken at uniform spacing dx using the
+// trapezoidal rule.
+func TrapzUniform(y []float64, dx float64) float64 {
+	n := len(y)
+	if n < 2 {
+		return 0
+	}
+	s := 0.5 * (y[0] + y[n-1])
+	for _, v := range y[1 : n-1] {
+		s += v
+	}
+	return s * dx
+}
+
+// Trapz integrates y(x) sampled at (possibly non-uniform) points xs.
+func Trapz(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("dsp: Trapz length mismatch")
+	}
+	s := 0.0
+	for i := 1; i < len(xs); i++ {
+		s += 0.5 * (ys[i] + ys[i-1]) * (xs[i] - xs[i-1])
+	}
+	return s
+}
+
+// Simpson integrates f over [a, b] with n (even, >= 2) intervals using
+// composite Simpson's rule.
+func Simpson(f func(float64) float64, a, b float64, n int) float64 {
+	if n < 2 {
+		n = 2
+	}
+	if n%2 != 0 {
+		n++
+	}
+	h := (b - a) / float64(n)
+	s := f(a) + f(b)
+	for i := 1; i < n; i++ {
+		x := a + float64(i)*h
+		if i%2 == 1 {
+			s += 4 * f(x)
+		} else {
+			s += 2 * f(x)
+		}
+	}
+	return s * h / 3
+}
+
+// Window functions for spectral analysis.
+
+// Hann returns the n-point Hann window.
+func Hann(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return w
+}
+
+// Blackman returns the n-point Blackman window.
+func Blackman(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		t := 2 * math.Pi * float64(i) / float64(n-1)
+		w[i] = 0.42 - 0.5*math.Cos(t) + 0.08*math.Cos(2*t)
+	}
+	return w
+}
+
+// ApplyWindow multiplies x by window w element-wise, returning a new slice.
+func ApplyWindow(x, w []float64) []float64 {
+	if len(x) != len(w) {
+		panic("dsp: ApplyWindow length mismatch")
+	}
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] * w[i]
+	}
+	return out
+}
+
+// RMS returns the root-mean-square of x.
+func RMS(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(x)))
+}

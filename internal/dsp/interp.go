@@ -1,0 +1,122 @@
+package dsp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrNotMonotone is returned when interpolation knots are not strictly
+// increasing.
+var ErrNotMonotone = errors.New("dsp: knots must be strictly increasing")
+
+// LinearInterp evaluates piecewise-linear interpolation of (xs, ys) at x.
+// Outside the knot range the nearest segment is extrapolated.
+func LinearInterp(xs, ys []float64, x float64) float64 {
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		panic("dsp: LinearInterp bad input")
+	}
+	if n == 1 {
+		return ys[0]
+	}
+	i := sort.SearchFloat64s(xs, x)
+	if i <= 0 {
+		i = 1
+	}
+	if i >= n {
+		i = n - 1
+	}
+	x0, x1 := xs[i-1], xs[i]
+	y0, y1 := ys[i-1], ys[i]
+	if x1 == x0 {
+		return y0
+	}
+	return y0 + (y1-y0)*(x-x0)/(x1-x0)
+}
+
+// Spline is a natural cubic spline through a set of knots.
+type Spline struct {
+	xs, ys []float64
+	m      []float64 // second derivatives at knots
+}
+
+// NewSpline builds a natural cubic spline. xs must be strictly increasing
+// and len(xs) == len(ys) >= 2.
+func NewSpline(xs, ys []float64) (*Spline, error) {
+	n := len(xs)
+	if n < 2 || n != len(ys) {
+		return nil, fmt.Errorf("dsp: spline needs >=2 matched knots, got %d/%d", len(xs), len(ys))
+	}
+	for i := 1; i < n; i++ {
+		if xs[i] <= xs[i-1] {
+			return nil, ErrNotMonotone
+		}
+	}
+	s := &Spline{
+		xs: append([]float64(nil), xs...),
+		ys: append([]float64(nil), ys...),
+		m:  make([]float64, n),
+	}
+	// Tridiagonal solve (Thomas algorithm) for natural boundary conditions.
+	if n > 2 {
+		a := make([]float64, n) // sub-diagonal
+		b := make([]float64, n) // diagonal
+		c := make([]float64, n) // super-diagonal
+		d := make([]float64, n) // rhs
+		for i := 1; i < n-1; i++ {
+			h0 := xs[i] - xs[i-1]
+			h1 := xs[i+1] - xs[i]
+			a[i] = h0
+			b[i] = 2 * (h0 + h1)
+			c[i] = h1
+			d[i] = 6 * ((ys[i+1]-ys[i])/h1 - (ys[i]-ys[i-1])/h0)
+		}
+		// Forward sweep over interior unknowns m[1..n-2].
+		for i := 2; i < n-1; i++ {
+			w := a[i] / b[i-1]
+			b[i] -= w * c[i-1]
+			d[i] -= w * d[i-1]
+		}
+		for i := n - 2; i >= 1; i-- {
+			s.m[i] = (d[i] - c[i]*s.m[i+1]) / b[i]
+		}
+	}
+	return s, nil
+}
+
+// Eval evaluates the spline at x (clamped extrapolation: outside the knot
+// range the boundary cubic segment is extended).
+func (s *Spline) Eval(x float64) float64 {
+	n := len(s.xs)
+	i := sort.SearchFloat64s(s.xs, x)
+	if i <= 0 {
+		i = 1
+	}
+	if i >= n {
+		i = n - 1
+	}
+	h := s.xs[i] - s.xs[i-1]
+	t := (x - s.xs[i-1]) / h
+	a := s.m[i-1] * h * h / 6
+	b := s.m[i] * h * h / 6
+	return (1-t)*s.ys[i-1] + t*s.ys[i] +
+		(1-t)*((1-t)*(1-t)-1)*a + t*(t*t-1)*b
+}
+
+// Resample evaluates a function sampled on xs/ys at n uniformly spaced
+// points spanning [xs[0], xs[len-1]] using linear interpolation.
+func Resample(xs, ys []float64, n int) (outX, outY []float64) {
+	if n < 2 {
+		panic("dsp: Resample needs n >= 2")
+	}
+	outX = make([]float64, n)
+	outY = make([]float64, n)
+	lo, hi := xs[0], xs[len(xs)-1]
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		outX[i] = x
+		outY[i] = LinearInterp(xs, ys, x)
+	}
+	return outX, outY
+}

@@ -1,0 +1,197 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearInterpExactAtKnots(t *testing.T) {
+	xs := []float64{0, 1, 2}
+	ys := []float64{5, 7, 4}
+	for i := range xs {
+		if got := LinearInterp(xs, ys, xs[i]); got != ys[i] {
+			t.Fatalf("interp at knot %d = %v, want %v", i, got, ys[i])
+		}
+	}
+}
+
+func TestLinearInterpMidpoint(t *testing.T) {
+	xs := []float64{0, 2}
+	ys := []float64{0, 10}
+	if got := LinearInterp(xs, ys, 1); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("midpoint = %v, want 5", got)
+	}
+}
+
+func TestLinearInterpExtrapolates(t *testing.T) {
+	xs := []float64{0, 1}
+	ys := []float64{0, 2}
+	if got := LinearInterp(xs, ys, 2); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("extrapolation = %v, want 4", got)
+	}
+	if got := LinearInterp(xs, ys, -1); math.Abs(got+2) > 1e-12 {
+		t.Fatalf("extrapolation = %v, want -2", got)
+	}
+}
+
+func TestLinearInterpSinglePoint(t *testing.T) {
+	if got := LinearInterp([]float64{1}, []float64{9}, 123); got != 9 {
+		t.Fatalf("single knot = %v, want 9", got)
+	}
+}
+
+func TestSplineInterpolatesKnots(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{0, 1, 0, -1, 0}
+	s, err := NewSpline(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if got := s.Eval(xs[i]); math.Abs(got-ys[i]) > 1e-10 {
+			t.Fatalf("spline at knot %d = %v, want %v", i, got, ys[i])
+		}
+	}
+}
+
+func TestSplineApproximatesSine(t *testing.T) {
+	var xs, ys []float64
+	for i := 0; i <= 40; i++ {
+		x := float64(i) / 40 * 2 * math.Pi
+		xs = append(xs, x)
+		ys = append(ys, math.Sin(x))
+	}
+	s, err := NewSpline(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.05; x < 2*math.Pi; x += 0.037 {
+		if err := math.Abs(s.Eval(x) - math.Sin(x)); err > 2e-4 {
+			t.Fatalf("spline error %v at x=%v", err, x)
+		}
+	}
+}
+
+func TestSplineRejectsBadKnots(t *testing.T) {
+	if _, err := NewSpline([]float64{0, 0, 1}, []float64{1, 2, 3}); err != ErrNotMonotone {
+		t.Fatalf("err = %v, want ErrNotMonotone", err)
+	}
+	if _, err := NewSpline([]float64{0}, []float64{1}); err == nil {
+		t.Fatal("expected error for single knot")
+	}
+}
+
+func TestSplineTwoKnotsIsLinear(t *testing.T) {
+	s, err := NewSpline([]float64{0, 2}, []float64{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Eval(1); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("two-knot spline at 1 = %v, want 2", got)
+	}
+}
+
+func TestResample(t *testing.T) {
+	xs := []float64{0, 1, 2}
+	ys := []float64{0, 2, 4}
+	ox, oy := Resample(xs, ys, 5)
+	if len(ox) != 5 || ox[0] != 0 || ox[4] != 2 {
+		t.Fatalf("resample grid wrong: %v", ox)
+	}
+	for i := range ox {
+		if math.Abs(oy[i]-2*ox[i]) > 1e-12 {
+			t.Fatalf("resample value[%d] = %v, want %v", i, oy[i], 2*ox[i])
+		}
+	}
+}
+
+func TestTrapzUniform(t *testing.T) {
+	// Integral of x over [0,1] with 101 samples = 0.5.
+	n := 101
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = float64(i) / float64(n-1)
+	}
+	got := TrapzUniform(y, 1.0/float64(n-1))
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("TrapzUniform = %v, want 0.5", got)
+	}
+}
+
+func TestTrapzNonUniform(t *testing.T) {
+	xs := []float64{0, 0.5, 2}
+	ys := []float64{0, 0.5, 2} // y = x
+	if got := Trapz(xs, ys); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Trapz = %v, want 2", got)
+	}
+}
+
+func TestSimpson(t *testing.T) {
+	got := Simpson(math.Sin, 0, math.Pi, 100)
+	if math.Abs(got-2) > 1e-7 {
+		t.Fatalf("Simpson(sin, 0, pi) = %v, want 2", got)
+	}
+	// Odd n should be fixed up internally.
+	got = Simpson(func(x float64) float64 { return x * x }, 0, 1, 3)
+	if math.Abs(got-1.0/3.0) > 1e-9 {
+		t.Fatalf("Simpson(x^2) = %v, want 1/3", got)
+	}
+}
+
+func TestWindows(t *testing.T) {
+	h := Hann(8)
+	if h[0] > 1e-12 || h[7] > 1e-12 {
+		t.Fatalf("Hann endpoints not ~0: %v %v", h[0], h[7])
+	}
+	b := Blackman(9)
+	if math.Abs(b[4]-1) > 1e-9 {
+		t.Fatalf("Blackman center = %v, want 1", b[4])
+	}
+	if Hann(1)[0] != 1 || Blackman(1)[0] != 1 {
+		t.Fatal("degenerate single-point windows must be 1")
+	}
+	w := ApplyWindow([]float64{2, 2, 2, 2, 2, 2, 2, 2}, h)
+	if w[0] != 0 {
+		t.Fatal("ApplyWindow failed")
+	}
+}
+
+func TestRMS(t *testing.T) {
+	if got := RMS([]float64{3, 3, 3}); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("RMS = %v, want 3", got)
+	}
+	if RMS(nil) != 0 {
+		t.Fatal("RMS(nil) should be 0")
+	}
+}
+
+// Property: spline evaluation stays within a modest multiple of the knot
+// range for interior evaluation (no wild oscillations on random data).
+func TestSplineBoundedProperty(t *testing.T) {
+	prop := func(raw [6]int8) bool {
+		xs := []float64{0, 1, 2, 3, 4, 5}
+		ys := make([]float64, 6)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range raw {
+			ys[i] = float64(v)
+			lo = math.Min(lo, ys[i])
+			hi = math.Max(hi, ys[i])
+		}
+		s, err := NewSpline(xs, ys)
+		if err != nil {
+			return false
+		}
+		span := hi - lo + 1
+		for x := 0.0; x <= 5; x += 0.1 {
+			v := s.Eval(x)
+			if v < lo-2*span || v > hi+2*span {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

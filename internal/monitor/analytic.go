@@ -1,0 +1,204 @@
+package monitor
+
+import (
+	"math"
+
+	"repro/internal/mos"
+)
+
+// Analytic is the design-equation model of the monitor: the boundary is
+// the locus where the left-branch saturation current sum equals the
+// right-branch sum,
+//
+//	I(M1,V1) + I(M2,V2) = I(M3,V3) + I(M4,V4),
+//
+// with I the EKV-smoothed square law of internal/mos. The differential
+// load keeps both summing nodes near the same potential in the fabricated
+// circuit, so ignoring V_DS effects here reproduces the published curve
+// family; tests cross-check against the transistor-level Spice model.
+type Analytic struct {
+	cfg     Config
+	devs    [4]mos.Device
+	refSign int
+}
+
+// NewAnalytic builds the analytic monitor model from a configuration.
+func NewAnalytic(cfg Config) (*Analytic, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Analytic{cfg: cfg, devs: cfg.Devices()}
+	a.refSign = signum(a.Balance(cfg.RefX, cfg.RefY))
+	if a.refSign == 0 {
+		// Reference sits exactly on the boundary; nudge deterministically.
+		a.refSign = signum(a.Balance(cfg.RefX+1e-3, cfg.RefY))
+		if a.refSign == 0 {
+			a.refSign = 1
+		}
+	}
+	return a, nil
+}
+
+// MustAnalytic is NewAnalytic that panics on configuration errors; it is
+// used with the known-good TableI configurations.
+func MustAnalytic(cfg Config) *Analytic {
+	a, err := NewAnalytic(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Balance returns I_left − I_right at plane point (x, y). The zone
+// boundary is Balance == 0.
+func (a *Analytic) Balance(x, y float64) float64 {
+	var v [4]float64
+	for i := range v {
+		v[i] = a.cfg.Inputs[i].Voltage(x, y)
+	}
+	left := a.devs[0].IDSat(v[0]) + a.devs[1].IDSat(v[1])
+	right := a.devs[2].IDSat(v[2]) + a.devs[3].IDSat(v[3])
+	return left - right
+}
+
+// Bit implements Monitor.
+func (a *Analytic) Bit(x, y float64) int {
+	if signum(a.Balance(x, y)) == a.refSign {
+		return 0
+	}
+	return 1
+}
+
+// Config implements Monitor.
+func (a *Analytic) Config() Config { return a.cfg }
+
+// WithDevices returns a copy of the monitor using the provided (e.g.
+// Monte Carlo perturbed) input devices. The reference side is re-derived
+// because variation can move the boundary.
+func (a *Analytic) WithDevices(devs [4]mos.Device) *Analytic {
+	out := &Analytic{cfg: a.cfg, devs: devs}
+	out.refSign = signum(out.Balance(a.cfg.RefX, a.cfg.RefY))
+	if out.refSign == 0 {
+		out.refSign = 1
+	}
+	return out
+}
+
+// Devices returns the monitor's input devices.
+func (a *Analytic) Devices() [4]mos.Device { return a.devs }
+
+func signum(v float64) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// BoundaryY solves the boundary crossing y for a fixed x by bisection on
+// the balance function over [yLo, yHi]. ok is false when the boundary
+// does not cross that segment.
+func (a *Analytic) BoundaryY(x, yLo, yHi float64) (y float64, ok bool) {
+	f := func(y float64) float64 { return a.Balance(x, y) }
+	flo, fhi := f(yLo), f(yHi)
+	if flo == 0 {
+		return yLo, true
+	}
+	if fhi == 0 {
+		return yHi, true
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, false
+	}
+	lo, hi := yLo, yHi
+	for i := 0; i < 80; i++ {
+		mid := 0.5 * (lo + hi)
+		fm := f(mid)
+		if fm == 0 || hi-lo < 1e-12 {
+			return mid, true
+		}
+		if (fm > 0) == (flo > 0) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi), true
+}
+
+// BoundaryX is BoundaryY with the roles of the axes exchanged (needed for
+// near-horizontal curve segments).
+func (a *Analytic) BoundaryX(y, xLo, xHi float64) (x float64, ok bool) {
+	f := func(x float64) float64 { return a.Balance(x, y) }
+	flo, fhi := f(xLo), f(xHi)
+	if flo == 0 {
+		return xLo, true
+	}
+	if fhi == 0 {
+		return xHi, true
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, false
+	}
+	lo, hi := xLo, xHi
+	for i := 0; i < 80; i++ {
+		mid := 0.5 * (lo + hi)
+		fm := f(mid)
+		if fm == 0 || hi-lo < 1e-12 {
+			return mid, true
+		}
+		if (fm > 0) == (flo > 0) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi), true
+}
+
+// Point is a location in the monitored X-Y plane.
+type Point struct{ X, Y float64 }
+
+// TraceBoundary samples the monitor's zone boundary inside the square
+// [lo,hi]² by scanning x columns and, for curve segments that run nearly
+// vertical, y rows. Points are deduplicated to a resolution of eps.
+func (a *Analytic) TraceBoundary(lo, hi float64, n int) []Point {
+	if n < 2 {
+		n = 2
+	}
+	var pts []Point
+	step := (hi - lo) / float64(n-1)
+	for i := 0; i < n; i++ {
+		x := lo + float64(i)*step
+		if y, ok := a.BoundaryY(x, lo, hi); ok {
+			pts = append(pts, Point{x, y})
+		}
+	}
+	for i := 0; i < n; i++ {
+		y := lo + float64(i)*step
+		if x, ok := a.BoundaryX(y, lo, hi); ok {
+			pts = append(pts, Point{x, y})
+		}
+	}
+	return dedupe(pts, step/4)
+}
+
+func dedupe(pts []Point, eps float64) []Point {
+	var out []Point
+	for _, p := range pts {
+		dup := false
+		for _, q := range out {
+			if math.Abs(p.X-q.X) < eps && math.Abs(p.Y-q.Y) < eps {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, p)
+		}
+	}
+	return out
+}

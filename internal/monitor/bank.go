@@ -1,0 +1,216 @@
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/mos"
+	"repro/internal/rng"
+)
+
+// Code is an n-bit zone code. Monitor i (0-based) contributes bit i; the
+// paper prints codes MSB-first with monitor 1 as the MSB, which String
+// reproduces.
+type Code uint32
+
+// Bit returns bit i of the code.
+func (c Code) Bit(i int) int { return int(c>>uint(i)) & 1 }
+
+// HammingDistance returns the number of differing bits between two codes.
+func (c Code) HammingDistance(o Code) int {
+	x := uint32(c ^ o)
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// StringN renders the code as the paper does: n bits, monitor 1 first
+// (MSB), e.g. Code 0b000100 with n=6 -> "001000"… see Bank.FormatCode for
+// the bank-ordered rendering.
+func (c Code) StringN(n int) string {
+	b := make([]byte, n)
+	for i := 0; i < n; i++ {
+		// monitor 1 (bit 0) printed first.
+		b[i] = byte('0' + c.Bit(i))
+	}
+	return string(b)
+}
+
+// Bank is an ordered set of monitors producing a zone code per (x, y).
+type Bank struct {
+	monitors []Monitor
+}
+
+// NewBank creates a bank from monitors; order fixes bit positions.
+func NewBank(ms ...Monitor) *Bank {
+	return &Bank{monitors: ms}
+}
+
+// NewAnalyticTableI builds the paper's 6-monitor bank with the analytic
+// model — the default signature-generation front end.
+func NewAnalyticTableI() *Bank {
+	cfgs := TableI()
+	ms := make([]Monitor, len(cfgs))
+	for i, c := range cfgs {
+		ms[i] = MustAnalytic(c)
+	}
+	return NewBank(ms...)
+}
+
+// NewSpiceTableI builds the Table I bank at transistor level: every zone
+// bit comes from a Newton-Raphson DC solution of the Fig. 2 netlist.
+// Roughly three orders of magnitude slower than the analytic bank; used
+// by integration tests and the hardware cross-check example.
+func NewSpiceTableI() (*Bank, error) {
+	cfgs := TableI()
+	ms := make([]Monitor, len(cfgs))
+	for i, c := range cfgs {
+		m, err := NewSpice(c, nil)
+		if err != nil {
+			return nil, err
+		}
+		ms[i] = m
+	}
+	return NewBank(ms...), nil
+}
+
+// Size returns the number of monitors (code bits).
+func (b *Bank) Size() int { return len(b.monitors) }
+
+// Monitors returns the ordered monitors.
+func (b *Bank) Monitors() []Monitor { return b.monitors }
+
+// Classify returns the zone code at (x, y).
+func (b *Bank) Classify(x, y float64) Code {
+	var c Code
+	for i, m := range b.monitors {
+		if m.Bit(x, y) == 1 {
+			c |= 1 << uint(i)
+		}
+	}
+	return c
+}
+
+// FormatCode renders a code with monitor 1 as the most significant
+// printed bit followed by its decimal value, matching Fig. 6 labels like
+// "011100 (28)".
+func (b *Bank) FormatCode(c Code) string {
+	n := len(b.monitors)
+	bits := make([]byte, n)
+	dec := 0
+	for i := 0; i < n; i++ {
+		bit := c.Bit(i)
+		bits[i] = byte('0' + bit)
+		dec = dec<<1 | bit
+	}
+	return fmt.Sprintf("%s (%d)", string(bits), dec)
+}
+
+// Decimal returns the MSB-first decimal value used in the paper's labels.
+func (b *Bank) Decimal(c Code) int {
+	dec := 0
+	for i := 0; i < len(b.monitors); i++ {
+		dec = dec<<1 | c.Bit(i)
+	}
+	return dec
+}
+
+// Perturbed returns a new bank with every analytic monitor's input
+// devices re-sampled from the given die (process + mismatch Monte Carlo).
+// Non-analytic monitors are passed through unchanged.
+func (b *Bank) Perturbed(die *mos.Die) *Bank {
+	out := make([]Monitor, len(b.monitors))
+	for i, m := range b.monitors {
+		if a, ok := m.(*Analytic); ok {
+			devs := a.Devices()
+			for j := range devs {
+				devs[j] = die.Perturb(devs[j])
+			}
+			out[i] = a.WithDevices(devs)
+		} else {
+			out[i] = m
+		}
+	}
+	return NewBank(out...)
+}
+
+// MCEnvelope traces the zone boundary of monitor index mi across nDies
+// Monte Carlo samples and returns, for each x column, the set of boundary
+// y values found (suitable for quantile envelopes). Columns with no
+// boundary crossing in a sample are skipped for that sample.
+//
+// Dies are evaluated in parallel across runtime.NumCPU() workers; each
+// die derives its own random stream from its index, so the result is
+// bit-identical regardless of scheduling or worker count.
+func (b *Bank) MCEnvelope(mi int, variation mos.Variation, src *rng.Stream, nDies, nCols int) (xs []float64, ys [][]float64) {
+	a, ok := b.monitors[mi].(*Analytic)
+	if !ok {
+		panic("monitor: MCEnvelope requires an analytic monitor")
+	}
+	xs = make([]float64, nCols)
+	for i := range xs {
+		xs[i] = float64(i) / float64(nCols-1)
+	}
+	// Split the per-die streams serially (Split advances src), then fan
+	// the independent dies out to the workers.
+	streams := make([]*rng.Stream, nDies)
+	for d := range streams {
+		streams[d] = src.Split(uint64(d))
+	}
+	// Per-die results, merged in die order for determinism.
+	type dieResult struct {
+		ys []float64 // per column; NaN = no crossing
+	}
+	results := make([]dieResult, nDies)
+	var wg sync.WaitGroup
+	workers := runtime.NumCPU()
+	if workers > nDies {
+		workers = nDies
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for d := range next {
+				die := variation.SampleDie(streams[d])
+				devs := a.Devices()
+				for j := range devs {
+					devs[j] = die.Perturb(devs[j])
+				}
+				pm := a.WithDevices(devs)
+				col := make([]float64, nCols)
+				for i, x := range xs {
+					if y, ok := pm.BoundaryY(x, 0, 1); ok {
+						col[i] = y
+					} else {
+						col[i] = math.NaN()
+					}
+				}
+				results[d] = dieResult{ys: col}
+			}
+		}()
+	}
+	for d := 0; d < nDies; d++ {
+		next <- d
+	}
+	close(next)
+	wg.Wait()
+	ys = make([][]float64, nCols)
+	for d := 0; d < nDies; d++ {
+		for i, y := range results[d].ys {
+			if !math.IsNaN(y) {
+				ys[i] = append(ys[i], y)
+			}
+		}
+	}
+	return xs, ys
+}

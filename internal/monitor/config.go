@@ -1,0 +1,170 @@
+// Package monitor implements the paper's digital-signature monitor: a
+// four-input current comparator (Fig. 2) whose current-balance locus
+// divides the X-Y plane of two observed signals with a nonlinear boundary.
+//
+// Two models of the same circuit are provided and cross-checked in tests:
+//
+//   - Analytic: the zone boundary is the locus where the summed
+//     saturation currents of the left branch (M1, M2) equal those of the
+//     right branch (M3, M4). This captures the design equations of
+//     Section III.B and is fast enough for signature generation.
+//   - Spice: the full Fig. 2 netlist (pseudo-differential pair, pMOS
+//     diode loads M5/M8 with cross-coupled feedback M6/M7) solved with
+//     the internal/spice MNA engine and digitized by comparing the two
+//     output nodes. This substitutes for the fabricated 65 nm monitor.
+//
+// The six Table I input configurations are provided as constructors, and
+// a Bank combines monitors into the n-bit zone code of Fig. 6.
+package monitor
+
+import (
+	"fmt"
+
+	"repro/internal/mos"
+)
+
+// InputKind says what drives one of the four monitor inputs.
+type InputKind int
+
+// Input drive options (Table I: each V_i is the X signal, the Y signal,
+// or a DC bias).
+const (
+	DriveDC InputKind = iota
+	DriveX
+	DriveY
+)
+
+// String implements fmt.Stringer.
+func (k InputKind) String() string {
+	switch k {
+	case DriveX:
+		return "X axis"
+	case DriveY:
+		return "Y axis"
+	default:
+		return "DC"
+	}
+}
+
+// Input describes the drive of one monitor input transistor.
+type Input struct {
+	Kind InputKind
+	DC   float64 // bias voltage when Kind == DriveDC
+}
+
+// Voltage resolves the input voltage at plane point (x, y).
+func (in Input) Voltage(x, y float64) float64 {
+	switch in.Kind {
+	case DriveX:
+		return x
+	case DriveY:
+		return y
+	default:
+		return in.DC
+	}
+}
+
+// X returns an Input driven by the monitored x(t) signal.
+func X() Input { return Input{Kind: DriveX} }
+
+// Y returns an Input driven by the monitored y(t) signal.
+func Y() Input { return Input{Kind: DriveY} }
+
+// Bias returns an Input parked at the DC voltage v.
+func Bias(v float64) Input { return Input{Kind: DriveDC, DC: v} }
+
+// Config is one monitor instance: four input transistor widths (nm) and
+// the four input drives, per Table I. L is shared (180 nm in the paper).
+type Config struct {
+	Name     string
+	WidthsNm [4]float64 // M1..M4 widths in nm
+	LengthNm float64    // shared channel length in nm
+	Inputs   [4]Input   // V1..V4 drives
+	NMOS     mos.Params // input device flavour
+	PMOS     mos.Params // load device flavour (spice model only)
+	VDD      float64    // supply voltage (spice model only)
+	LoadWNm  float64    // pMOS load width (spice model only)
+	// RefX, RefY locate a point inside the zone that must code as "0"
+	// (the paper's "region containing the origin"). A point slightly off
+	// (0,0) is used so the 45° line of curve 6, which passes through the
+	// origin, still has a well-defined origin side.
+	RefX, RefY float64
+}
+
+// Validate checks configuration sanity.
+func (c Config) Validate() error {
+	for i, w := range c.WidthsNm {
+		if w <= 0 {
+			return fmt.Errorf("monitor %s: M%d width must be positive, got %g", c.Name, i+1, w)
+		}
+	}
+	if c.LengthNm <= 0 {
+		return fmt.Errorf("monitor %s: length must be positive", c.Name)
+	}
+	if c.VDD <= 0 {
+		return fmt.Errorf("monitor %s: VDD must be positive", c.Name)
+	}
+	return nil
+}
+
+// Devices instantiates the four input transistors.
+func (c Config) Devices() [4]mos.Device {
+	var out [4]mos.Device
+	for i := range out {
+		out[i] = mos.NewDevice(fmt.Sprintf("%s.M%d", c.Name, i+1), c.WidthsNm[i], c.LengthNm, c.NMOS)
+	}
+	return out
+}
+
+// baseConfig fills the technology-dependent defaults shared by Table I.
+func baseConfig(name string) Config {
+	return Config{
+		Name:     name,
+		LengthNm: 180,
+		NMOS:     mos.Default65nmNMOS(),
+		PMOS:     mos.Default65nmPMOS(),
+		VDD:      1.2,
+		LoadWNm:  2000,
+		RefX:     0.02,
+		RefY:     0.0,
+	}
+}
+
+// TableI returns the six monitor configurations of the paper's TABLE I:
+//
+//	#  M1    M2    M3    M4     V1      V2      V3      V4
+//	1  3000  600   600   3000   Y       0.2     X       0.6
+//	2  3000  600   600   3000   0.6     Y       0.2     X
+//	3  1800  1800  1800  1800   Y       X       0.55    0.55
+//	4  1800  1800  1800  1800   Y       X       0.3     0.3
+//	5  1800  1800  1800  1800   Y       X       0.75    0.75
+//	6  1800  1800  1800  1800   Y       0       X       0
+//
+// Curves 1-2 are positive-slope segments, 3-5 negative-slope nonlinear
+// arcs through (V_DC, V_DC), and 6 the 45° line.
+func TableI() []Config {
+	mk := func(i int, w [4]float64, in [4]Input) Config {
+		c := baseConfig(fmt.Sprintf("mon%d", i))
+		c.WidthsNm = w
+		c.Inputs = in
+		return c
+	}
+	return []Config{
+		mk(1, [4]float64{3000, 600, 600, 3000}, [4]Input{Y(), Bias(0.2), X(), Bias(0.6)}),
+		mk(2, [4]float64{3000, 600, 600, 3000}, [4]Input{Bias(0.6), Y(), Bias(0.2), X()}),
+		mk(3, [4]float64{1800, 1800, 1800, 1800}, [4]Input{Y(), X(), Bias(0.55), Bias(0.55)}),
+		mk(4, [4]float64{1800, 1800, 1800, 1800}, [4]Input{Y(), X(), Bias(0.3), Bias(0.3)}),
+		mk(5, [4]float64{1800, 1800, 1800, 1800}, [4]Input{Y(), X(), Bias(0.75), Bias(0.75)}),
+		mk(6, [4]float64{1800, 1800, 1800, 1800}, [4]Input{Y(), Bias(0), X(), Bias(0)}),
+	}
+}
+
+// Monitor digitizes one bit of the zone code at a plane location:
+// 0 on the side of the boundary containing the configured reference
+// ("origin") point, 1 on the other side.
+type Monitor interface {
+	// Bit returns the zone-code bit at (x, y).
+	Bit(x, y float64) int
+	// Config returns the monitor's configuration.
+	Config() Config
+}

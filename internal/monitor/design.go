@@ -1,0 +1,87 @@
+package monitor
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/num"
+)
+
+// This file implements the design procedure Section V alludes to:
+// "Zone boundaries can be adjusted by changing the biasing voltages
+// and/or the aspect ratio of the input transistors." Given a geometric
+// target, these helpers synthesize a Table-I-style configuration.
+
+// DesignArc synthesizes a symmetric negative-slope arc (Table I rows
+// 3-5 topology: V1 = Y, V2 = X, V3 = V4 = bias, equal widths) passing
+// through the point (p, p) on the diagonal: the bias simply equals p,
+// since the balance I(y) + I(x) = 2·I(bias) is exact there.
+func DesignArc(p float64, widthNm float64, base Config) (Config, error) {
+	if p <= 0 || p >= base.VDD {
+		return Config{}, fmt.Errorf("monitor: arc anchor %g outside (0, VDD)", p)
+	}
+	if widthNm <= 0 {
+		return Config{}, fmt.Errorf("monitor: width must be positive")
+	}
+	cfg := base
+	cfg.Name = fmt.Sprintf("arc@%.2f", p)
+	cfg.WidthsNm = [4]float64{widthNm, widthNm, widthNm, widthNm}
+	cfg.Inputs = [4]Input{Y(), X(), Bias(p), Bias(p)}
+	return cfg, nil
+}
+
+// DesignSegment synthesizes a positive-slope segment (Table I row 1
+// topology: V1 = Y heavy device, V2 = low bias, V3 = X light device,
+// V4 = anchor bias) whose left end sits at height yLeft (the boundary
+// level for x below threshold) and whose slope is set by the width
+// ratio: along the boundary, I_w1(y) = I_w3(x) + I_w1(yLeft), so
+// dy/dx → √(w3/w1) deep in strong inversion.
+//
+// yLeft must be above threshold; slopeRatio = w3/w1 in (0, 1].
+func DesignSegment(yLeft, slopeRatio, w1Nm float64, base Config) (Config, error) {
+	if slopeRatio <= 0 || slopeRatio > 1 {
+		return Config{}, fmt.Errorf("monitor: slope ratio %g outside (0,1]", slopeRatio)
+	}
+	if w1Nm <= 0 {
+		return Config{}, fmt.Errorf("monitor: width must be positive")
+	}
+	if yLeft <= base.NMOS.VTH0 || yLeft >= base.VDD {
+		return Config{}, fmt.Errorf("monitor: left level %g must be in (VTH, VDD)", yLeft)
+	}
+	cfg := base
+	cfg.Name = fmt.Sprintf("seg@%.2f", yLeft)
+	w3 := slopeRatio * w1Nm
+	cfg.WidthsNm = [4]float64{w1Nm, math.Max(200, w3/5), w3, w1Nm}
+	// V2 parked below threshold so it contributes ~nothing; V4 anchors
+	// the level: I_w1(yLeft) = I_w1(V4) when x is off -> V4 = yLeft.
+	cfg.Inputs = [4]Input{Y(), Bias(0.2 * base.NMOS.VTH0), X(), Bias(yLeft)}
+	return cfg, nil
+}
+
+// FitArcBias finds the bias voltage whose arc passes through an
+// arbitrary target point (x0, y0) (not necessarily on the diagonal):
+// solve I(x0) + I(y0) = 2·I(b) for b by bisection.
+func FitArcBias(x0, y0, widthNm float64, base Config) (Config, error) {
+	if widthNm <= 0 {
+		return Config{}, fmt.Errorf("monitor: width must be positive")
+	}
+	probe := baseProbe(widthNm, base)
+	target := probe.IDSat(x0) + probe.IDSat(y0)
+	b, err := num.Bisect(func(v float64) float64 {
+		return 2*probe.IDSat(v) - target
+	}, 0, base.VDD, 1e-12)
+	if err != nil {
+		return Config{}, fmt.Errorf("monitor: no bias reaches target point (%g, %g): %w", x0, y0, err)
+	}
+	cfg := base
+	cfg.Name = fmt.Sprintf("arc@(%.2f,%.2f)", x0, y0)
+	cfg.WidthsNm = [4]float64{widthNm, widthNm, widthNm, widthNm}
+	cfg.Inputs = [4]Input{Y(), X(), Bias(b), Bias(b)}
+	return cfg, nil
+}
+
+func baseProbe(widthNm float64, base Config) interface{ IDSat(float64) float64 } {
+	d := base
+	d.WidthsNm = [4]float64{widthNm, widthNm, widthNm, widthNm}
+	return d.Devices()[0]
+}

@@ -1,0 +1,144 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func base() Config { return TableI()[2] }
+
+func TestDesignArcAnchorsOnDiagonal(t *testing.T) {
+	for _, p := range []float64{0.3, 0.5, 0.75} {
+		cfg, err := DesignArc(p, 1800, base())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := MustAnalytic(cfg)
+		if b := m.Balance(p, p); math.Abs(b) > 1e-15 {
+			t.Fatalf("arc(%v) balance at anchor = %v", p, b)
+		}
+	}
+}
+
+func TestDesignArcMatchesTableIRow(t *testing.T) {
+	// DesignArc(0.55) must reproduce Table I row 3's boundary.
+	cfg, err := DesignArc(0.55, 1800, base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours := MustAnalytic(cfg)
+	ref := MustAnalytic(TableI()[2])
+	for _, x := range []float64{0.3, 0.45, 0.6} {
+		y1, ok1 := ours.BoundaryY(x, 0, 1)
+		y2, ok2 := ref.BoundaryY(x, 0, 1)
+		if ok1 != ok2 {
+			t.Fatalf("crossing disagreement at x=%v", x)
+		}
+		if ok1 && math.Abs(y1-y2) > 1e-9 {
+			t.Fatalf("designed arc differs from Table I row 3 at x=%v: %v vs %v", x, y1, y2)
+		}
+	}
+}
+
+func TestDesignArcValidation(t *testing.T) {
+	if _, err := DesignArc(0, 1800, base()); err == nil {
+		t.Fatal("zero anchor accepted")
+	}
+	if _, err := DesignArc(2, 1800, base()); err == nil {
+		t.Fatal("anchor above VDD accepted")
+	}
+	if _, err := DesignArc(0.5, 0, base()); err == nil {
+		t.Fatal("zero width accepted")
+	}
+}
+
+func TestDesignSegmentLevelAndSlope(t *testing.T) {
+	cfg, err := DesignSegment(0.6, 0.2, 3000, base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MustAnalytic(cfg)
+	// Left end: for x deep below threshold the boundary sits at yLeft.
+	y0, ok := m.BoundaryY(0.05, 0, 1)
+	if !ok {
+		t.Fatal("no boundary at x=0.05")
+	}
+	if math.Abs(y0-0.6) > 0.02 {
+		t.Fatalf("left level = %v, want 0.6", y0)
+	}
+	// Positive slope.
+	y1, ok := m.BoundaryY(0.95, 0, 1)
+	if !ok || y1 <= y0 {
+		t.Fatalf("slope not positive: %v -> %v", y0, y1)
+	}
+	// Smaller slope ratio gives a flatter segment.
+	flat, err := DesignSegment(0.6, 0.05, 3000, base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fy1, ok := MustAnalytic(flat).BoundaryY(0.95, 0, 1)
+	if !ok {
+		t.Fatal("flat segment lost crossing")
+	}
+	if fy1 >= y1 {
+		t.Fatalf("slope ratio did not flatten: %v vs %v", fy1, y1)
+	}
+}
+
+func TestDesignSegmentValidation(t *testing.T) {
+	if _, err := DesignSegment(0.6, 0, 3000, base()); err == nil {
+		t.Fatal("zero slope ratio accepted")
+	}
+	if _, err := DesignSegment(0.6, 2, 3000, base()); err == nil {
+		t.Fatal("slope ratio above 1 accepted")
+	}
+	if _, err := DesignSegment(0.2, 0.5, 3000, base()); err == nil {
+		t.Fatal("sub-threshold level accepted")
+	}
+	if _, err := DesignSegment(0.6, 0.5, 0, base()); err == nil {
+		t.Fatal("zero width accepted")
+	}
+}
+
+func TestFitArcBiasHitsTarget(t *testing.T) {
+	cfg, err := FitArcBias(0.3, 0.7, 1800, base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MustAnalytic(cfg)
+	if b := m.Balance(0.3, 0.7); math.Abs(b) > 1e-12 {
+		t.Fatalf("designed arc misses target: balance %v", b)
+	}
+	// The boundary truly passes through (0.3, 0.7).
+	y, ok := m.BoundaryY(0.3, 0, 1)
+	if !ok || math.Abs(y-0.7) > 1e-6 {
+		t.Fatalf("boundary at x=0.3 is y=%v (ok=%v), want 0.7", y, ok)
+	}
+}
+
+func TestFitArcBiasValidation(t *testing.T) {
+	if _, err := FitArcBias(0.3, 0.7, 0, base()); err == nil {
+		t.Fatal("zero width accepted")
+	}
+}
+
+// Property: FitArcBias hits any target point in the open square.
+func TestFitArcBiasProperty(t *testing.T) {
+	prop := func(xr, yr uint8) bool {
+		x0 := 0.1 + 0.8*float64(xr)/255
+		y0 := 0.1 + 0.8*float64(yr)/255
+		cfg, err := FitArcBias(x0, y0, 1800, base())
+		if err != nil {
+			return false
+		}
+		m, err := NewAnalytic(cfg)
+		if err != nil {
+			return false
+		}
+		return math.Abs(m.Balance(x0, y0)) < 1e-10
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

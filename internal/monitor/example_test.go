@@ -1,0 +1,40 @@
+package monitor_test
+
+import (
+	"fmt"
+
+	"repro/internal/monitor"
+)
+
+// The six Table I monitors classify any plane point into a 6-bit zone
+// code; the region containing the origin codes as all zeros.
+func ExampleBank_Classify() {
+	bank := monitor.NewAnalyticTableI()
+	fmt.Println(bank.FormatCode(bank.Classify(0.02, 0.0)))
+	fmt.Println(bank.FormatCode(bank.Classify(0.45, 0.62)))
+	// Output:
+	// 000000 (0)
+	// 101101 (45)
+}
+
+// Boundaries are designed by anchoring them where the CUT's Lissajous
+// travels (Section V: bias voltages and aspect ratios set the curve).
+func ExampleDesignArc() {
+	cfg, err := monitor.DesignArc(0.55, 1800, monitor.TableI()[2])
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	m := monitor.MustAnalytic(cfg)
+	y, _ := m.BoundaryY(0.55, 0, 1)
+	fmt.Printf("arc through (0.55, %.2f)\n", y)
+	// Output:
+	// arc through (0.55, 0.55)
+}
+
+func ExampleEstimateArea() {
+	est := monitor.EstimateArea(monitor.TableI()[0])
+	fmt.Printf("core %.2f um2, total %.2f um2\n", est.CoreUm2, est.TotalUm2)
+	// Output:
+	// core 53.54 um2, total 116.10 um2
+}

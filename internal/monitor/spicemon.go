@@ -1,0 +1,226 @@
+package monitor
+
+import (
+	"fmt"
+
+	"repro/internal/mos"
+	"repro/internal/spice"
+)
+
+// Spice is the transistor-level model of the Fig. 2 monitor. Each Bit
+// evaluation builds the input bias, solves the nonlinear DC operating
+// point of the full eight-transistor circuit, and compares the two output
+// nodes — exactly what the fabricated monitor's high-gain output stage
+// does. It is orders of magnitude slower than Analytic and exists to
+// validate it and to regenerate the "experimental" curves of Fig. 4.
+//
+// With an output stage (NewSpiceWithOutputStage) the comparison is done
+// in silicon too: a differential-to-single-ended VCVS followed by two
+// CMOS inverters squares the analog difference up to a rail-to-rail
+// digital level, matching the paper's "high gain output stage to
+// digitalize the differential output" (total area 116.1 µm²).
+type Spice struct {
+	cfg      Config
+	ckt      *spice.Circuit
+	vx       [4]*spice.VSource
+	refBit   int
+	prevSol  *spice.Solution
+	digital  bool // true when the inverter output stage is present
+	outDNode string
+}
+
+// NewSpice builds the transistor-level monitor core. Optionally,
+// perturbed input devices (Monte Carlo) can be supplied; pass nil for
+// nominal.
+func NewSpice(cfg Config, devs *[4]mos.Device) (*Spice, error) {
+	return newSpice(cfg, devs, false)
+}
+
+// NewSpiceWithOutputStage builds the monitor including the digitizing
+// output stage; Bit then thresholds a rail-to-rail node instead of
+// comparing the two analog outputs.
+func NewSpiceWithOutputStage(cfg Config, devs *[4]mos.Device) (*Spice, error) {
+	return newSpice(cfg, devs, true)
+}
+
+func newSpice(cfg Config, devs *[4]mos.Device, outputStage bool) (*Spice, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Spice{cfg: cfg, digital: outputStage}
+	m.ckt = spice.New()
+	c := m.ckt
+	vdd := c.Node("vdd")
+	out1 := c.Node("out1")
+	out2 := c.Node("out2")
+	c.Add(spice.NewVSource("VDD", vdd, spice.Ground, cfg.VDD))
+
+	inputDevs := cfg.Devices()
+	if devs != nil {
+		inputDevs = *devs
+	}
+	// Input gates driven by dedicated sources so Bit can rebias quickly.
+	drains := [4]spice.NodeID{out1, out1, out2, out2}
+	for i := 0; i < 4; i++ {
+		g := c.Node(fmt.Sprintf("g%d", i+1))
+		m.vx[i] = spice.NewVSource(fmt.Sprintf("V%d", i+1), g, spice.Ground, 0)
+		c.Add(m.vx[i])
+		c.Add(spice.NewMOSFET(fmt.Sprintf("M%d", i+1), drains[i], g, spice.Ground, inputDevs[i]))
+	}
+	// Loads: M5/M8 diode-connected, M6/M7 cross-coupled feedback
+	// ("equal sized transistors M5 and M8 are used as active loads, while
+	// equal sized transistors M6 and M7 perform the required feedback to
+	// improve the gain of the stage"). The feedback pair is drawn at 80%
+	// of the diode pair so the positive-feedback loop gain stays below
+	// one: the stage gets the published gain boost without turning into a
+	// bistable latch, which would add hysteresis to the zone boundary.
+	load := func(name string, wNm float64) mos.Device {
+		return mos.NewDevice(name, wNm, cfg.LengthNm, cfg.PMOS)
+	}
+	c.Add(spice.NewMOSFET("M5", out1, out1, vdd, load("M5", cfg.LoadWNm)))
+	c.Add(spice.NewMOSFET("M6", out1, out2, vdd, load("M6", 0.8*cfg.LoadWNm)))
+	c.Add(spice.NewMOSFET("M7", out2, out1, vdd, load("M7", 0.8*cfg.LoadWNm)))
+	c.Add(spice.NewMOSFET("M8", out2, out2, vdd, load("M8", cfg.LoadWNm)))
+
+	if outputStage {
+		// Differential-to-single-ended gain stage biased to mid-rail,
+		// then two CMOS inverters to square the level up.
+		amp := c.Node("amp")
+		mid := c.Node("mid")
+		inv1 := c.Node("inv1")
+		outd := c.Node("outd")
+		c.Add(spice.NewVSource("VMID", mid, spice.Ground, cfg.VDD/2))
+		c.Add(spice.NewVCVS("EAMP", amp, mid, out2, out1, 40))
+		// Clamp the VCVS drive into the inverter with a series resistor
+		// so the first inverter input stays a real node.
+		c.Add(spice.NewResistor("RAMP", amp, inv1, 1e3))
+		inverter := func(name string, in, out spice.NodeID) {
+			c.Add(spice.NewMOSFET(name+"p", out, in, vdd,
+				mos.NewDevice(name+"p", 2*cfg.LoadWNm, cfg.LengthNm, cfg.PMOS)))
+			c.Add(spice.NewMOSFET(name+"n", out, in, spice.Ground,
+				mos.NewDevice(name+"n", cfg.LoadWNm, cfg.LengthNm, cfg.NMOS)))
+		}
+		// The first inverter input is inv1 (through RAMP), its output
+		// drives the second inverter producing the digital node.
+		innode := c.Node("q1")
+		inverter("MI1", inv1, innode)
+		inverter("MI2", innode, outd)
+		m.outDNode = "outd"
+	}
+
+	ref, err := m.rawBit(cfg.RefX, cfg.RefY)
+	if err != nil {
+		return nil, fmt.Errorf("monitor %s: reference solve: %w", cfg.Name, err)
+	}
+	m.refBit = ref
+	return m, nil
+}
+
+// rawBit solves the DC point at (x, y) and returns 1 when out2 > out1
+// (right branch starved, left branch sinking more current). With the
+// output stage present the rail-to-rail digital node is thresholded at
+// VDD/2 instead.
+func (m *Spice) rawBit(x, y float64) (int, error) {
+	for i := 0; i < 4; i++ {
+		m.vx[i].SetDC(m.cfg.Inputs[i].Voltage(x, y))
+	}
+	sol, err := spice.DCOperatingPointFrom(m.ckt, spice.Options{}, m.prevSol)
+	if err != nil {
+		return 0, err
+	}
+	m.prevSol = sol
+	if m.digital {
+		vd, err := sol.Voltage(m.outDNode)
+		if err != nil {
+			return 0, err
+		}
+		if vd > m.cfg.VDD/2 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	v1, _ := sol.Voltage("out1")
+	v2, _ := sol.Voltage("out2")
+	if v2 > v1 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// Bit implements Monitor. Convergence failures are not expected for this
+// topology; if one occurs the reference side is returned (fail-safe "0")
+// and BitErr can be used instead when the caller wants the error.
+func (m *Spice) Bit(x, y float64) int {
+	b, err := m.BitErr(x, y)
+	if err != nil {
+		return 0
+	}
+	return b
+}
+
+// BitErr is Bit with explicit error reporting.
+func (m *Spice) BitErr(x, y float64) (int, error) {
+	raw, err := m.rawBit(x, y)
+	if err != nil {
+		return 0, err
+	}
+	if raw == m.refBit {
+		return 0, nil
+	}
+	return 1, nil
+}
+
+// Config implements Monitor.
+func (m *Spice) Config() Config { return m.cfg }
+
+// OutputVoltages solves the DC point and returns (out1, out2), exposing
+// the analog comparison the output stage digitizes.
+func (m *Spice) OutputVoltages(x, y float64) (v1, v2 float64, err error) {
+	for i := 0; i < 4; i++ {
+		m.vx[i].SetDC(m.cfg.Inputs[i].Voltage(x, y))
+	}
+	sol, err := spice.DCOperatingPointFrom(m.ckt, spice.Options{}, m.prevSol)
+	if err != nil {
+		return 0, 0, err
+	}
+	m.prevSol = sol
+	v1, _ = sol.Voltage("out1")
+	v2, _ = sol.Voltage("out2")
+	return v1, v2, nil
+}
+
+// BoundaryY locates the bit transition along the y direction at fixed x
+// by binary search; ok is false when no transition exists in [yLo, yHi].
+func (m *Spice) BoundaryY(x, yLo, yHi float64) (float64, bool) {
+	return m.boundary(func(v float64) (int, error) { return m.BitErr(x, v) }, yLo, yHi)
+}
+
+// BoundaryX locates the bit transition along the x direction at fixed y —
+// needed for near-vertical curve segments (Table I row 2).
+func (m *Spice) BoundaryX(y, xLo, xHi float64) (float64, bool) {
+	return m.boundary(func(v float64) (int, error) { return m.BitErr(v, y) }, xLo, xHi)
+}
+
+func (m *Spice) boundary(bit func(float64) (int, error), lo, hi float64) (float64, bool) {
+	bLo, err := bit(lo)
+	if err != nil {
+		return 0, false
+	}
+	bHi, err := bit(hi)
+	if err != nil || bLo == bHi {
+		return 0, false
+	}
+	for i := 0; i < 30; i++ {
+		mid := 0.5 * (lo + hi)
+		bm, err := bit(mid)
+		if err != nil {
+			return 0, false
+		}
+		if bm == bLo {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi), true
+}

@@ -1,0 +1,42 @@
+package monitor
+
+import "fmt"
+
+// Stuck wraps a monitor with a stuck-at output fault — a defect in the
+// test circuitry itself (comparator latch-up, broken output stage). The
+// self-test question it enables: does the golden-signature comparison
+// notice when the *monitor*, not the CUT, is broken?
+type Stuck struct {
+	Base Monitor
+	At   int // 0 or 1
+}
+
+// NewStuck wraps base with a stuck-at-v fault.
+func NewStuck(base Monitor, v int) (*Stuck, error) {
+	if v != 0 && v != 1 {
+		return nil, fmt.Errorf("monitor: stuck-at value %d must be 0 or 1", v)
+	}
+	return &Stuck{Base: base, At: v}, nil
+}
+
+// Bit implements Monitor: the output never moves.
+func (s *Stuck) Bit(x, y float64) int { return s.At }
+
+// Config implements Monitor.
+func (s *Stuck) Config() Config { return s.Base.Config() }
+
+// WithStuckMonitor returns a copy of the bank with monitor index mi
+// replaced by a stuck-at-v version.
+func (b *Bank) WithStuckMonitor(mi, v int) (*Bank, error) {
+	if mi < 0 || mi >= len(b.monitors) {
+		return nil, fmt.Errorf("monitor: index %d out of range", mi)
+	}
+	st, err := NewStuck(b.monitors[mi], v)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Monitor, len(b.monitors))
+	copy(out, b.monitors)
+	out[mi] = st
+	return NewBank(out...), nil
+}

@@ -1,0 +1,61 @@
+package ndf_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ndf"
+)
+
+func TestAlignedRecoversShiftedGolden(t *testing.T) {
+	sys := core.Default()
+	g, err := sys.GoldenSignature()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An observed signature that is just the golden one captured with a
+	// 37 µs trigger offset.
+	shifted := ndf.Rotate(g, 37e-6)
+	raw, err := ndf.NDF(shifted, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw < 0.1 {
+		t.Fatalf("unaligned NDF = %v; shift should look like a gross defect", raw)
+	}
+	best, off, err := ndf.Aligned(shifted, g, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best > 0.005 {
+		t.Fatalf("aligned NDF = %v, want ~0", best)
+	}
+	// The recovered offset undoes the rotation: rotating by off again
+	// must reproduce the golden alignment, i.e. off ≈ T − 37 µs
+	// (mod the search grid spacing).
+	wantOff := g.Period - 37e-6
+	if math.Abs(off-wantOff) > g.Period/400+1e-9 {
+		t.Fatalf("recovered offset %v, want ~%v", off, wantOff)
+	}
+}
+
+func TestAlignedStillSeparatesDefects(t *testing.T) {
+	sys := core.Default()
+	g, err := sys.GoldenSignature()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sys.ExactSignature(sys.Golden.WithF0Shift(0.10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even after searching all alignments, a +10% CUT keeps a large NDF.
+	best, _, err := ndf.Aligned(ndf.Rotate(d, 51e-6), g, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best < 0.05 {
+		t.Fatalf("alignment search washed out a real defect: %v", best)
+	}
+}

@@ -1,0 +1,74 @@
+package ndf
+
+import (
+	"repro/internal/signature"
+)
+
+// EditDistance returns the Levenshtein distance between the zone-code
+// *sequences* of two signatures, ignoring dwell times. This is the
+// comparison style of the earlier digital-signature proposal (ref [12]
+// of the paper): two circuits differ by how many zone insertions,
+// deletions or substitutions separate their traversal orders. It is
+// coarser than the NDF — a defect that only changes dwell durations is
+// invisible to it — which is exactly what the edit-distance ablation
+// quantifies.
+func EditDistance(a, b *signature.Signature) int {
+	sa := codesOf(a)
+	sb := codesOf(b)
+	n, m := len(sa), len(sb)
+	if n == 0 {
+		return m
+	}
+	if m == 0 {
+		return n
+	}
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		for j := 1; j <= m; j++ {
+			cost := 1
+			if sa[i-1] == sb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// NormalizedEditDistance divides the edit distance by the longer
+// sequence length, giving a [0, 1] discrepancy comparable across CUTs.
+func NormalizedEditDistance(a, b *signature.Signature) float64 {
+	sa, sb := codesOf(a), codesOf(b)
+	longer := len(sa)
+	if len(sb) > longer {
+		longer = len(sb)
+	}
+	if longer == 0 {
+		return 0
+	}
+	return float64(EditDistance(a, b)) / float64(longer)
+}
+
+func codesOf(s *signature.Signature) []uint32 {
+	out := make([]uint32, 0, len(s.Entries))
+	for _, e := range s.Entries {
+		out = append(out, uint32(e.Code))
+	}
+	return out
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,170 @@
+package ndf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/monitor"
+	"repro/internal/signature"
+)
+
+func seqSig(codes ...int) *signature.Signature {
+	s := &signature.Signature{Period: 1}
+	for _, c := range codes {
+		s.Entries = append(s.Entries, signature.Entry{
+			Code: monitor.Code(c), Dur: 1 / float64(len(codes)),
+		})
+	}
+	return s
+}
+
+func TestEditDistanceIdentical(t *testing.T) {
+	a := seqSig(1, 2, 3, 4)
+	if d := EditDistance(a, a); d != 0 {
+		t.Fatalf("self distance = %d", d)
+	}
+}
+
+func TestEditDistanceKnownCases(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want int
+	}{
+		{[]int{1, 2, 3}, []int{1, 2, 3, 4}, 1},    // insertion
+		{[]int{1, 2, 3}, []int{1, 3}, 1},          // deletion
+		{[]int{1, 2, 3}, []int{1, 7, 3}, 1},       // substitution
+		{[]int{1, 2, 3}, []int{4, 5, 6}, 3},       // all different
+		{[]int{}, []int{1, 2}, 2},                 // from empty
+		{[]int{1, 2, 3, 4}, []int{2, 3, 4, 5}, 2}, // shift
+	}
+	for _, c := range cases {
+		got := EditDistance(seqSig(c.a...), seqSig(c.b...))
+		if got != c.want {
+			t.Fatalf("EditDistance(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEditDistanceSymmetry(t *testing.T) {
+	a := seqSig(1, 2, 3, 2, 1)
+	b := seqSig(1, 3, 3, 2)
+	if EditDistance(a, b) != EditDistance(b, a) {
+		t.Fatal("edit distance not symmetric")
+	}
+}
+
+func TestNormalizedEditDistance(t *testing.T) {
+	a := seqSig(1, 2, 3, 4)
+	b := seqSig(5, 6, 7, 8)
+	if v := NormalizedEditDistance(a, b); v != 1 {
+		t.Fatalf("fully different sequences = %v, want 1", v)
+	}
+	if v := NormalizedEditDistance(a, a); v != 0 {
+		t.Fatalf("self = %v, want 0", v)
+	}
+	empty := &signature.Signature{Period: 1}
+	if v := NormalizedEditDistance(empty, empty); v != 0 {
+		t.Fatalf("empty vs empty = %v", v)
+	}
+}
+
+func TestEditDistanceBlindToDwellChanges(t *testing.T) {
+	// Same traversal order, very different dwell times: the edit
+	// distance sees nothing — the weakness the NDF fixes.
+	a := &signature.Signature{Period: 1, Entries: []signature.Entry{
+		{Code: 1, Dur: 0.5}, {Code: 2, Dur: 0.5},
+	}}
+	b := &signature.Signature{Period: 1, Entries: []signature.Entry{
+		{Code: 1, Dur: 0.05}, {Code: 2, Dur: 0.95},
+	}}
+	if d := EditDistance(a, b); d != 0 {
+		t.Fatalf("edit distance = %d, should ignore durations", d)
+	}
+	v, err := NDF(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 {
+		t.Fatal("NDF must see the dwell shift")
+	}
+}
+
+// Property: triangle inequality on random short sequences.
+func TestEditDistanceTriangleProperty(t *testing.T) {
+	prop := func(ra, rb, rc [5]uint8) bool {
+		mk := func(r [5]uint8) *signature.Signature {
+			codes := make([]int, 5)
+			for i, v := range r {
+				codes[i] = int(v % 8)
+			}
+			return seqSig(codes...)
+		}
+		a, b, c := mk(ra), mk(rb), mk(rc)
+		ab := EditDistance(a, b)
+		bc := EditDistance(b, c)
+		ac := EditDistance(a, c)
+		return ac <= ab+bc
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestROCPerfectSeparation(t *testing.T) {
+	good := []float64{0.01, 0.02, 0.03}
+	bad := []float64{0.10, 0.20, 0.30}
+	curve, err := ROC(good, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := AUC(curve); a != 1 {
+		t.Fatalf("AUC of separable populations = %v, want 1", a)
+	}
+	// Curve endpoints: (0,·) exists and (1,1) exists.
+	first, last := curve[0], curve[len(curve)-1]
+	if first.FPR != 0 {
+		t.Fatalf("curve must start at FPR 0, got %v", first.FPR)
+	}
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Fatalf("curve must end at (1,1), got (%v,%v)", last.FPR, last.TPR)
+	}
+}
+
+func TestROCChanceLevel(t *testing.T) {
+	same := []float64{0.1, 0.2, 0.3, 0.4}
+	curve, err := ROC(same, same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := AUC(curve); math.Abs(a-0.5) > 1e-12 {
+		t.Fatalf("AUC of identical populations = %v, want 0.5", a)
+	}
+}
+
+func TestROCValidation(t *testing.T) {
+	if _, err := ROC(nil, []float64{1}); err == nil {
+		t.Fatal("empty good accepted")
+	}
+	if AUC(nil) != 0 {
+		t.Fatal("degenerate AUC must be 0")
+	}
+}
+
+func TestROCMonotone(t *testing.T) {
+	good := []float64{0.01, 0.05, 0.03, 0.08, 0.02}
+	bad := []float64{0.04, 0.12, 0.09, 0.06}
+	curve, err := ROC(good, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].FPR < curve[i-1].FPR {
+			t.Fatal("FPR not sorted")
+		}
+	}
+	a := AUC(curve)
+	if a <= 0.5 || a > 1 {
+		t.Fatalf("AUC = %v for overlapping-but-shifted populations", a)
+	}
+}

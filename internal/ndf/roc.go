@@ -1,0 +1,67 @@
+package ndf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ROCPoint is one operating point of a threshold sweep.
+type ROCPoint struct {
+	Threshold float64
+	FPR       float64 // false-positive rate: good circuits rejected
+	TPR       float64 // true-positive rate: bad circuits rejected
+}
+
+// ROC sweeps the decision threshold over every distinct observed NDF and
+// returns the operating curve, sorted by increasing FPR. goodNDFs are
+// measurements from in-spec circuits, badNDFs from out-of-spec ones.
+func ROC(goodNDFs, badNDFs []float64) ([]ROCPoint, error) {
+	if len(goodNDFs) == 0 || len(badNDFs) == 0 {
+		return nil, fmt.Errorf("ndf: ROC needs both populations")
+	}
+	thresholds := make([]float64, 0, len(goodNDFs)+len(badNDFs)+1)
+	thresholds = append(thresholds, goodNDFs...)
+	thresholds = append(thresholds, badNDFs...)
+	sort.Float64s(thresholds)
+	out := make([]ROCPoint, 0, len(thresholds)+1)
+	rate := func(xs []float64, thr float64) float64 {
+		n := 0
+		for _, v := range xs {
+			if v > thr { // rejected
+				n++
+			}
+		}
+		return float64(n) / float64(len(xs))
+	}
+	// Include a threshold below everything (reject all) implicitly via
+	// thr = min-epsilon and above everything via the largest value.
+	prev := thresholds[0] - 1
+	for _, thr := range append([]float64{prev}, thresholds...) {
+		out = append(out, ROCPoint{
+			Threshold: thr,
+			FPR:       rate(goodNDFs, thr),
+			TPR:       rate(badNDFs, thr),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FPR != out[j].FPR {
+			return out[i].FPR < out[j].FPR
+		}
+		return out[i].TPR < out[j].TPR
+	})
+	return out, nil
+}
+
+// AUC integrates the ROC curve with the trapezoidal rule; 1.0 is a
+// perfect separator, 0.5 is chance.
+func AUC(curve []ROCPoint) float64 {
+	if len(curve) < 2 {
+		return 0
+	}
+	area := 0.0
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FPR - curve[i-1].FPR
+		area += dx * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	return area
+}

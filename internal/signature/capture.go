@@ -1,0 +1,145 @@
+package signature
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/monitor"
+)
+
+// CaptureConfig models the asynchronous capture hardware of Fig. 5: the
+// monitor outputs feed a transition detector; an m-bit counter running on
+// the master clock measures the time spent in each zone and is reset on
+// every code change.
+type CaptureConfig struct {
+	ClockHz     float64 // master clock frequency
+	CounterBits int     // m, the time-register width
+	// MinStableTicks makes the transition detector accept a new code
+	// only after it has been observed for this many consecutive clock
+	// ticks (0 or 1 = immediate). Hardware deglitching: noise chatter at
+	// a zone boundary rarely holds a code for several ticks, so a small
+	// value suppresses spurious transitions without moving genuine ones
+	// (the stable run is attributed retroactively to the new zone).
+	MinStableTicks int
+}
+
+// DefaultCapture is the configuration used throughout the reproduction:
+// 10 MHz master clock and a 16-bit counter (2000 clocks per 200 µs
+// Lissajous period, far from wrap).
+func DefaultCapture() CaptureConfig {
+	return CaptureConfig{ClockHz: 10e6, CounterBits: 16}
+}
+
+// Validate checks the configuration.
+func (c CaptureConfig) Validate() error {
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("signature: clock %g Hz must be positive", c.ClockHz)
+	}
+	if c.CounterBits < 1 || c.CounterBits > 32 {
+		return fmt.Errorf("signature: counter bits %d out of [1,32]", c.CounterBits)
+	}
+	if c.MinStableTicks < 0 {
+		return fmt.Errorf("signature: negative deglitch depth %d", c.MinStableTicks)
+	}
+	return nil
+}
+
+// MaxCount returns the largest counter value before wrap (2^m − 1).
+func (c CaptureConfig) MaxCount() uint64 { return 1<<uint(c.CounterBits) - 1 }
+
+// Capture runs the clocked acquisition over one period T: the classifier
+// is sampled on every master-clock tick; a code change latches the
+// counter into the time register and resets it. If a zone dwell exceeds
+// the counter range, the counter wraps and the capture emits a split
+// entry of the maximum measurable duration — the post-processing
+// Canonical() merge restores the total dwell, which is how the readout
+// software of such a monitor recovers long intervals.
+func Capture(classify Classifier, T float64, cfg CaptureConfig) (*Signature, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if T <= 0 {
+		return nil, fmt.Errorf("signature: period %g must be positive", T)
+	}
+	tick := 1 / cfg.ClockHz
+	n := int(math.Round(T / tick))
+	if n < 2 {
+		return nil, fmt.Errorf("signature: period %g too short for clock %g", T, cfg.ClockHz)
+	}
+	maxCount := cfg.MaxCount()
+	stable := cfg.MinStableTicks
+	if stable < 1 {
+		stable = 1
+	}
+	sig := &Signature{Period: T}
+	cur := classify(0)
+	var count uint64
+	var candidate monitor.Code
+	var candidateRun uint64
+	emit := func(code monitor.Code, counts uint64) {
+		if counts == 0 {
+			return
+		}
+		sig.Entries = append(sig.Entries, Entry{Code: code, Dur: float64(counts) * tick})
+	}
+	for k := 1; k < n; k++ {
+		t := float64(k) * tick
+		count++
+		if count > maxCount {
+			// Counter wrap: hardware latches the max value and restarts.
+			emit(cur, maxCount)
+			count -= maxCount
+		}
+		c := classify(t)
+		switch {
+		case c == cur:
+			candidateRun = 0
+		case c == candidate:
+			candidateRun++
+		default:
+			candidate = c
+			candidateRun = 1
+		}
+		if candidateRun >= uint64(stable) {
+			// Accept: the stable run belongs to the new zone.
+			run := candidateRun
+			if run > count {
+				run = count
+			}
+			emit(cur, count-run)
+			cur = c
+			count = run
+			candidateRun = 0
+		}
+	}
+	// Close the period: remaining counts belong to the final code.
+	emit(cur, count+1)
+	// Normalize total duration to exactly T (rounding of n·tick).
+	total := 0.0
+	for _, e := range sig.Entries {
+		total += e.Dur
+	}
+	if total > 0 && math.Abs(total-T) > 1e-12 {
+		scale := T / total
+		for i := range sig.Entries {
+			sig.Entries[i].Dur *= scale
+		}
+	}
+	if len(sig.Entries) == 0 {
+		return nil, ErrEmpty
+	}
+	return sig, nil
+}
+
+// Chronogram samples the signature's code at n uniform instants over the
+// period, returning the decimal-coded series of Fig. 7's upper plot.
+func Chronogram(s *Signature, bank *monitor.Bank, n int) (times []float64, decimal []int) {
+	times = make([]float64, n)
+	decimal = make([]int, n)
+	for i := 0; i < n; i++ {
+		t := s.Period * float64(i) / float64(n)
+		times[i] = t
+		decimal[i] = bank.Decimal(s.At(t))
+	}
+	return times, decimal
+}

@@ -1,0 +1,32 @@
+package signature_test
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/monitor"
+	"repro/internal/signature"
+)
+
+// Fig. 5's clocked capture: a classifier crossing two zones is sampled
+// at the master clock, dwell times come from the m-bit counter.
+func ExampleCapture() {
+	T := 200e-6
+	classify := func(t float64) monitor.Code {
+		if math.Mod(t, T) < 80e-6 {
+			return 0b000100
+		}
+		return 0b000101
+	}
+	sig, err := signature.Capture(classify, T, signature.DefaultCapture())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, e := range sig.Entries {
+		fmt.Printf("zone %06b for %.0f us\n", e.Code, e.Dur*1e6)
+	}
+	// Output:
+	// zone 000100 for 80 us
+	// zone 000101 for 120 us
+}

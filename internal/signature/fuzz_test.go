@@ -1,0 +1,29 @@
+package signature
+
+import "testing"
+
+// FuzzUnmarshalBinary: arbitrary bytes must never panic the decoder, and
+// anything it accepts must re-marshal to an equivalent payload.
+func FuzzUnmarshalBinary(f *testing.F) {
+	good, _ := (&Signature{Period: 1e-3, Entries: []Entry{{Code: 3, Dur: 1e-3}}}).MarshalBinary()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Signature
+		if err := s.UnmarshalBinary(data); err != nil {
+			return
+		}
+		back, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted signature failed to re-marshal: %v", err)
+		}
+		var s2 Signature
+		if err := s2.UnmarshalBinary(back); err != nil {
+			t.Fatalf("re-marshalled payload rejected: %v", err)
+		}
+		if s2.Period != s.Period || len(s2.Entries) != len(s.Entries) {
+			t.Fatal("round trip changed structure")
+		}
+	})
+}

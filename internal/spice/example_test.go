@@ -1,0 +1,42 @@
+package spice_test
+
+import (
+	"fmt"
+
+	"repro/internal/spice"
+)
+
+// A netlist in the SPICE-like text format: parse, solve the DC operating
+// point, read a node voltage.
+func ExampleParse() {
+	ckt, err := spice.Parse(`
+* resistive divider with a loading subcircuit
+.subckt leg top
+R1 top 0 2k
+.ends
+V1 in 0 1.2
+R1 in mid 1k
+Xload mid leg
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sol, err := spice.DCOperatingPoint(ckt, spice.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	v, _ := sol.Voltage("mid")
+	fmt.Printf("V(mid) = %.3f V\n", v)
+	// Output:
+	// V(mid) = 0.800 V
+}
+
+// Engineering-notation values round-trip through the netlist format.
+func ExampleParseValue() {
+	v, _ := spice.ParseValue("2.2k")
+	fmt.Println(v, spice.FormatValue(180e-9))
+	// Output:
+	// 2200 180n
+}

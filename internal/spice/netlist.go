@@ -1,0 +1,391 @@
+package spice
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/mos"
+)
+
+// ParseValue parses a SPICE-style number with an optional engineering
+// suffix: f p n u m k meg g t (case-insensitive). "2.2k" -> 2200.
+func ParseValue(s string) (float64, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" {
+		return 0, fmt.Errorf("spice: empty value")
+	}
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "meg"):
+		mult, s = 1e6, s[:len(s)-3]
+	case strings.HasSuffix(s, "f"):
+		mult, s = 1e-15, s[:len(s)-1]
+	case strings.HasSuffix(s, "p"):
+		mult, s = 1e-12, s[:len(s)-1]
+	case strings.HasSuffix(s, "n"):
+		mult, s = 1e-9, s[:len(s)-1]
+	case strings.HasSuffix(s, "u"):
+		mult, s = 1e-6, s[:len(s)-1]
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1e-3, s[:len(s)-1]
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1e3, s[:len(s)-1]
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1e9, s[:len(s)-1]
+	case strings.HasSuffix(s, "t"):
+		mult, s = 1e12, s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("spice: bad numeric value %q: %w", s, err)
+	}
+	return v * mult, nil
+}
+
+// FormatValue renders v with an engineering suffix, for netlist echoing.
+func FormatValue(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av == 0:
+		return "0"
+	case av >= 1e9:
+		return trimZeros(v/1e9) + "g"
+	case av >= 1e6:
+		return trimZeros(v/1e6) + "meg"
+	case av >= 1e3:
+		return trimZeros(v/1e3) + "k"
+	case av >= 1:
+		return trimZeros(v)
+	case av >= 1e-3:
+		return trimZeros(v*1e3) + "m"
+	case av >= 1e-6:
+		return trimZeros(v*1e6) + "u"
+	case av >= 1e-9:
+		return trimZeros(v*1e9) + "n"
+	case av >= 1e-12:
+		return trimZeros(v*1e12) + "p"
+	default:
+		return trimZeros(v*1e15) + "f"
+	}
+}
+
+func trimZeros(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// ModelSet maps model names referenced by M lines to device parameters.
+// Parse seeds it with "nmos" and "pmos" defaults.
+type ModelSet map[string]mos.Params
+
+// subcktDef is a parsed .subckt template.
+type subcktDef struct {
+	name  string
+	ports []string
+	lines []string
+}
+
+// Parse reads a SPICE-like netlist. Supported cards:
+//
+//	R<name> n+ n- value
+//	C<name> n+ n- value
+//	V<name> n+ n- [DC] value
+//	I<name> n+ n- [DC] value
+//	E<name> n+ n- nc+ nc- gain        (VCVS)
+//	M<name> nd ng ns model W=... L=...
+//	X<name> n1 n2 ... subcktname      (subcircuit instance)
+//	.model <name> nmos|pmos [VTO=] [KP=] [LAMBDA=] [N=]
+//	.subckt <name> port1 port2 ...  /  .ends
+//	* comment, blank lines, .end
+//
+// Node "0" is ground. Subcircuit-internal nodes and element names are
+// prefixed with "<instance>." on expansion; instances may nest up to a
+// small depth. Returns the populated circuit.
+func Parse(src string) (*Circuit, error) {
+	c := New()
+	models := ModelSet{
+		"nmos": mos.Default65nmNMOS(),
+		"pmos": mos.Default65nmPMOS(),
+	}
+	sc := bufio.NewScanner(strings.NewReader(src))
+	var lines []string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "*") {
+			continue
+		}
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+			if line == "" {
+				continue
+			}
+		}
+		lines = append(lines, line)
+	}
+	// First pass: collect .model cards and .subckt blocks.
+	subckts := map[string]*subcktDef{}
+	var topLines []string
+	var cur *subcktDef
+	for ln, line := range lines {
+		low := strings.ToLower(line)
+		switch {
+		case strings.HasPrefix(low, ".model"):
+			if cur != nil {
+				return nil, fmt.Errorf("spice: line %d: .model inside .subckt", ln+1)
+			}
+			if err := parseModel(line, models); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(low, ".subckt"):
+			if cur != nil {
+				return nil, fmt.Errorf("spice: line %d: nested .subckt definition", ln+1)
+			}
+			f := strings.Fields(line)
+			if len(f) < 3 {
+				return nil, fmt.Errorf("spice: line %d: .subckt needs a name and ports", ln+1)
+			}
+			cur = &subcktDef{name: strings.ToLower(f[1]), ports: f[2:]}
+		case strings.HasPrefix(low, ".ends"):
+			if cur == nil {
+				return nil, fmt.Errorf("spice: line %d: .ends without .subckt", ln+1)
+			}
+			subckts[cur.name] = cur
+			cur = nil
+		case cur != nil:
+			cur.lines = append(cur.lines, line)
+		default:
+			topLines = append(topLines, line)
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("spice: unterminated .subckt %s", cur.name)
+	}
+	for ln, line := range topLines {
+		low := strings.ToLower(line)
+		if low == ".end" {
+			continue
+		}
+		if strings.HasPrefix(low, ".") {
+			return nil, fmt.Errorf("spice: line %d: unsupported directive %q", ln+1, line)
+		}
+		if err := parseTopOrInstance(c, line, models, subckts, 0); err != nil {
+			return nil, fmt.Errorf("spice: line %d: %w", ln+1, err)
+		}
+	}
+	return c, nil
+}
+
+// maxSubcktDepth bounds recursive subcircuit expansion.
+const maxSubcktDepth = 8
+
+func parseTopOrInstance(c *Circuit, line string, models ModelSet, subckts map[string]*subcktDef, depth int) error {
+	f := strings.Fields(line)
+	if strings.ToUpper(f[0][:1]) != "X" {
+		return parseElement(c, line, models)
+	}
+	if depth >= maxSubcktDepth {
+		return fmt.Errorf("subcircuit nesting deeper than %d", maxSubcktDepth)
+	}
+	if len(f) < 2 {
+		return fmt.Errorf("%s needs nodes and a subcircuit name", f[0])
+	}
+	def, ok := subckts[strings.ToLower(f[len(f)-1])]
+	if !ok {
+		return fmt.Errorf("unknown subcircuit %q", f[len(f)-1])
+	}
+	nodes := f[1 : len(f)-1]
+	if len(nodes) != len(def.ports) {
+		return fmt.Errorf("%s connects %d nodes, subcircuit %s has %d ports",
+			f[0], len(nodes), def.name, len(def.ports))
+	}
+	portMap := map[string]string{}
+	for i, p := range def.ports {
+		portMap[p] = nodes[i]
+	}
+	prefix := f[0] + "."
+	for _, raw := range def.lines {
+		mapped, err := remapSubcktLine(raw, portMap, prefix)
+		if err != nil {
+			return fmt.Errorf("in subcircuit %s: %w", def.name, err)
+		}
+		if err := parseTopOrInstance(c, mapped, models, subckts, depth+1); err != nil {
+			return fmt.Errorf("in subcircuit %s: %w", def.name, err)
+		}
+	}
+	return nil
+}
+
+// remapSubcktLine renames the element and substitutes port/internal node
+// names for one line of a subcircuit body.
+func remapSubcktLine(line string, portMap map[string]string, prefix string) (string, error) {
+	f := strings.Fields(line)
+	kind := strings.ToUpper(f[0][:1])
+	var nodeCount int
+	switch kind {
+	case "R", "C", "V", "I":
+		nodeCount = 2
+	case "M":
+		nodeCount = 3
+	case "E", "G":
+		nodeCount = 4
+	case "X":
+		nodeCount = len(f) - 2 // all operands but the subckt name
+	default:
+		return "", fmt.Errorf("unsupported element %q inside subcircuit", f[0])
+	}
+	if len(f) < 1+nodeCount {
+		return "", fmt.Errorf("element %q has too few operands", f[0])
+	}
+	out := make([]string, len(f))
+	copy(out, f)
+	// Keep the kind letter first (dispatch relies on it): R1 inside
+	// instance Xa becomes "RXa.R1".
+	out[0] = f[0][:1] + prefix + f[0]
+	mapNode := func(n string) string {
+		if n == "0" || n == "gnd" || n == "GND" {
+			return "0"
+		}
+		if ext, ok := portMap[n]; ok {
+			return ext
+		}
+		return prefix + n
+	}
+	for i := 1; i <= nodeCount; i++ {
+		out[i] = mapNode(f[i])
+	}
+	return strings.Join(out, " "), nil
+}
+
+func parseModel(line string, models ModelSet) error {
+	f := strings.Fields(line)
+	if len(f) < 3 {
+		return fmt.Errorf("spice: malformed .model line %q", line)
+	}
+	name := strings.ToLower(f[1])
+	var p mos.Params
+	switch strings.ToLower(f[2]) {
+	case "nmos":
+		p = mos.Default65nmNMOS()
+	case "pmos":
+		p = mos.Default65nmPMOS()
+	default:
+		return fmt.Errorf("spice: unknown model kind %q", f[2])
+	}
+	for _, kv := range f[3:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("spice: malformed model parameter %q", kv)
+		}
+		x, err := ParseValue(val)
+		if err != nil {
+			return err
+		}
+		switch strings.ToLower(key) {
+		case "vto", "vth":
+			p.VTH0 = math.Abs(x)
+		case "kp":
+			p.KP = x
+		case "lambda":
+			p.Lambda = x
+		case "n":
+			p.N = x
+		default:
+			return fmt.Errorf("spice: unknown model parameter %q", key)
+		}
+	}
+	models[name] = p
+	return nil
+}
+
+func parseElement(c *Circuit, line string, models ModelSet) error {
+	f := strings.Fields(line)
+	name := f[0]
+	kind := strings.ToUpper(name[:1])
+	switch kind {
+	case "R", "C":
+		if len(f) != 4 {
+			return fmt.Errorf("%s needs 3 operands", name)
+		}
+		v, err := ParseValue(f[3])
+		if err != nil {
+			return err
+		}
+		if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			return fmt.Errorf("%s value %g must be positive and finite", name, v)
+		}
+		p, m := c.Node(f[1]), c.Node(f[2])
+		if kind == "R" {
+			c.Add(NewResistor(name, p, m, v))
+		} else {
+			c.Add(NewCapacitor(name, p, m, v))
+		}
+	case "V", "I":
+		args := f[1:]
+		if len(args) == 4 && strings.EqualFold(args[2], "dc") {
+			args = []string{args[0], args[1], args[3]}
+		}
+		if len(args) != 3 {
+			return fmt.Errorf("%s needs n+ n- value", name)
+		}
+		v, err := ParseValue(args[2])
+		if err != nil {
+			return err
+		}
+		p, m := c.Node(args[0]), c.Node(args[1])
+		if kind == "V" {
+			c.Add(NewVSource(name, p, m, v))
+		} else {
+			c.Add(NewISource(name, p, m, v))
+		}
+	case "E", "G":
+		if len(f) != 6 {
+			return fmt.Errorf("%s needs n+ n- nc+ nc- gain", name)
+		}
+		g, err := ParseValue(f[5])
+		if err != nil {
+			return err
+		}
+		if kind == "E" {
+			c.Add(NewVCVS(name, c.Node(f[1]), c.Node(f[2]), c.Node(f[3]), c.Node(f[4]), g))
+		} else {
+			c.Add(NewVCCS(name, c.Node(f[1]), c.Node(f[2]), c.Node(f[3]), c.Node(f[4]), g))
+		}
+	case "M":
+		if len(f) < 5 {
+			return fmt.Errorf("%s needs nd ng ns model [W= L=]", name)
+		}
+		model, ok := models[strings.ToLower(f[4])]
+		if !ok {
+			return fmt.Errorf("unknown model %q", f[4])
+		}
+		w, l := 1e-6, 180e-9
+		for _, kv := range f[5:] {
+			key, val, found := strings.Cut(kv, "=")
+			if !found {
+				return fmt.Errorf("malformed parameter %q", kv)
+			}
+			x, err := ParseValue(val)
+			if err != nil {
+				return err
+			}
+			switch strings.ToUpper(key) {
+			case "W":
+				w = x
+			case "L":
+				l = x
+			default:
+				return fmt.Errorf("unknown MOSFET parameter %q", key)
+			}
+		}
+		if w <= 0 || l <= 0 || math.IsInf(w, 0) || math.IsInf(l, 0) {
+			return fmt.Errorf("%s needs positive finite W and L, got W=%g L=%g", name, w, l)
+		}
+		dev := mos.Device{Name: name, W: w, L: l, P: model}
+		c.Add(NewMOSFET(name, c.Node(f[1]), c.Node(f[2]), c.Node(f[3]), dev))
+	default:
+		return fmt.Errorf("unknown element kind %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+package spice
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"1k", 1e3}, {"2.2k", 2.2e3}, {"1meg", 1e6}, {"100n", 1e-7},
+		{"180n", 180e-9}, {"3u", 3e-6}, {"1.5m", 1.5e-3}, {"2p", 2e-12},
+		{"5f", 5e-15}, {"0.5", 0.5}, {"1e-3", 1e-3}, {"2g", 2e9}, {"1t", 1e12},
+		{"-4.7u", -4.7e-6},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.in)
+		if err != nil {
+			t.Fatalf("ParseValue(%q): %v", c.in, err)
+		}
+		if math.Abs(got-c.want) > 1e-9*math.Abs(c.want) {
+			t.Fatalf("ParseValue(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "xyz", "1kk", "=3"} {
+		if _, err := ParseValue(bad); err == nil {
+			t.Fatalf("ParseValue(%q) should fail", bad)
+		}
+	}
+}
+
+func TestFormatValueRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1e3, 2.2e-6, 180e-9, 1.5, 3e6, 4e9, 7e-13, 2e-15} {
+		s := FormatValue(v)
+		back, err := ParseValue(s)
+		if err != nil {
+			t.Fatalf("round trip of %v via %q: %v", v, s, err)
+		}
+		if v == 0 {
+			if back != 0 {
+				t.Fatal("zero round trip failed")
+			}
+			continue
+		}
+		if math.Abs(back-v) > 1e-5*math.Abs(v) {
+			t.Fatalf("round trip %v -> %q -> %v", v, s, back)
+		}
+	}
+}
+
+func TestParseDivider(t *testing.T) {
+	c, err := Parse(`
+* simple divider
+V1 in 0 DC 1.0
+R1 in mid 1k
+R2 mid 0 1k ; bottom leg
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := DCOperatingPoint(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := sol.Voltage("mid")
+	if math.Abs(v-0.5) > 1e-9 {
+		t.Fatalf("parsed divider mid = %v, want 0.5", v)
+	}
+}
+
+func TestParseMOSFETWithModel(t *testing.T) {
+	c, err := Parse(`
+.model mynmos nmos VTO=0.35 KP=250u LAMBDA=0.1 N=1.25
+VDD vdd 0 1.2
+VG g 0 0.8
+RD vdd d 10k
+M1 d g 0 mynmos W=1.8u L=180n
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := c.FindElement("M1").(*MOSFET)
+	if !ok {
+		t.Fatal("M1 not found")
+	}
+	if math.Abs(m.Dev.P.VTH0-0.35) > 1e-12 || math.Abs(m.Dev.P.KP-250e-6) > 1e-12 {
+		t.Fatalf("model params wrong: %+v", m.Dev.P)
+	}
+	if math.Abs(m.Dev.W-1.8e-6) > 1e-15 {
+		t.Fatalf("W = %v, want 1.8u", m.Dev.W)
+	}
+	sol, err := DCOperatingPoint(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd, _ := sol.Voltage("d")
+	if vd <= 0 || vd >= 1.2 {
+		t.Fatalf("drain voltage out of range: %v", vd)
+	}
+}
+
+func TestParseVCVSAndISource(t *testing.T) {
+	c, err := Parse(`
+I1 0 a 1m
+R1 a 0 1k
+E1 out 0 a 0 5
+RL out 0 1k
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := DCOperatingPoint(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := sol.Voltage("out")
+	if math.Abs(v-5.0) > 1e-6 {
+		t.Fatalf("VCVS out = %v, want 5", v)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"R1 a 0",                    // missing value
+		"Q1 a b c",                  // unknown element
+		"M1 d g 0 nosuchmodel W=1u", // unknown model
+		".tran 1n 1u",               // unsupported directive
+		"M1 d g 0 nmos W1u",         // malformed parameter
+		"V1 a 0 abc",                // bad value
+		".model m1 bjt",             // unknown model kind
+		".model m1 nmos VTO",        // malformed model parameter
+		".model m1 nmos FOO=1",      // unknown model parameter
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseSkipsCommentsAndBlank(t *testing.T) {
+	c, err := Parse("* a comment\n\nV1 a 0 1\nR1 a 0 1k\n; full-line comment via semicolon is not stripped at start\n")
+	if err == nil {
+		_ = c
+	}
+	// A leading semicolon line has empty content after strip -> must not error.
+	c2, err2 := Parse("V1 a 0 1\nR1 a 0 1k\n;\n")
+	if err2 != nil {
+		t.Fatalf("semicolon-only line broke parse: %v", err2)
+	}
+	if c2.NumNodes() != 1 {
+		t.Fatalf("nodes = %d, want 1", c2.NumNodes())
+	}
+}
+
+func TestMonitorNetlistText(t *testing.T) {
+	// The Fig. 2 monitor expressed as a text netlist parses and solves.
+	src := `
+* Fig. 2 monitor: pseudo-differential current comparator
+VDD vdd 0 1.2
+V1 g1 0 0.5
+V2 g2 0 0.2
+V3 g3 0 0.5
+V4 g4 0 0.6
+M1 out1 g1 0 nmos W=3u   L=180n
+M2 out1 g2 0 nmos W=600n L=180n
+M3 out2 g3 0 nmos W=600n L=180n
+M4 out2 g4 0 nmos W=3u   L=180n
+M5 out1 out1 vdd pmos W=2u L=180n
+M6 out1 out2 vdd pmos W=2u L=180n
+M7 out2 out1 vdd pmos W=2u L=180n
+M8 out2 out2 vdd pmos W=2u L=180n
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := DCOperatingPoint(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := sol.Voltage("out1")
+	v2, _ := sol.Voltage("out2")
+	for _, v := range []float64{v1, v2} {
+		if v < 0 || v > 1.2 {
+			t.Fatalf("monitor output rail violation: out1=%v out2=%v", v1, v2)
+		}
+	}
+	if strings.Contains(src, "\t") {
+		t.Fatal("netlist formatting sanity")
+	}
+}
+
+// Property: the parser never panics on random token soup — it either
+// errors or returns a circuit.
+func TestParseNeverPanicsProperty(t *testing.T) {
+	tokens := []string{
+		"R1", "V1", "M1", "X1", "E1", "G1", "C1", "Q9", ".model", ".subckt",
+		".ends", ".end", "a", "b", "0", "1k", "nmos", "pmos", "W=1u", "L=",
+		"=", "div", "*", ";", "-3", "meg", "1kk",
+	}
+	prop := func(seed uint64, lineCount uint8) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("parser panicked: %v", r)
+			}
+		}()
+		s := seed | 1
+		next := func(n int) int {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return int(s % uint64(n))
+		}
+		var b strings.Builder
+		lines := 1 + int(lineCount%12)
+		for i := 0; i < lines; i++ {
+			width := 1 + next(6)
+			for j := 0; j < width; j++ {
+				if j > 0 {
+					b.WriteByte(' ')
+				}
+				b.WriteString(tokens[next(len(tokens))])
+			}
+			b.WriteByte('\n')
+		}
+		_, _ = Parse(b.String())
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

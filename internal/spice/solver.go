@@ -1,0 +1,284 @@
+package spice
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/num"
+)
+
+// ErrNoConvergence is returned when all convergence aids are exhausted.
+var ErrNoConvergence = errors.New("spice: Newton iteration did not converge")
+
+// Options tunes the nonlinear solver. Zero value fields fall back to the
+// documented defaults.
+type Options struct {
+	MaxIter   int     // Newton iterations per attempt (default 150)
+	AbsTol    float64 // absolute voltage tolerance, V (default 1e-9)
+	RelTol    float64 // relative voltage tolerance (default 1e-6)
+	Gmin      float64 // minimum conductance to ground on every node (default 1e-12)
+	MaxStep   float64 // max voltage update per Newton iteration, V (default 0.3)
+	Trapezoid bool    // use trapezoidal integration in Transient
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter == 0 {
+		o.MaxIter = 150
+	}
+	if o.AbsTol == 0 {
+		o.AbsTol = 1e-9
+	}
+	if o.RelTol == 0 {
+		o.RelTol = 1e-6
+	}
+	if o.Gmin == 0 {
+		o.Gmin = 1e-12
+	}
+	if o.MaxStep == 0 {
+		o.MaxStep = 0.3
+	}
+	return o
+}
+
+// solver carries reusable workspaces across Newton iterations and sweeps.
+type solver struct {
+	c    *Circuit
+	opt  Options
+	a    *num.Matrix
+	b    []float64
+	x    []float64
+	xNew []float64
+	lu   *num.LU
+}
+
+func newSolver(c *Circuit, opt Options) *solver {
+	c.assignBranches()
+	n := c.Size()
+	s := &solver{
+		c:    c,
+		opt:  opt.withDefaults(),
+		a:    num.NewMatrix(n, n),
+		b:    make([]float64, n),
+		x:    make([]float64, n),
+		xNew: make([]float64, n),
+	}
+	return s
+}
+
+// newton runs damped Newton-Raphson from the current s.x with the given
+// stamper template (time/dt/prev/DC/srcScale) and gmin. On success s.x
+// holds the solution.
+func (s *solver) newton(tmpl Stamper, gmin float64) error {
+	n := s.c.Size()
+	nNodes := s.c.NumNodes()
+	for iter := 0; iter < s.opt.MaxIter; iter++ {
+		s.a.Zero()
+		for i := range s.b {
+			s.b[i] = 0
+		}
+		st := tmpl
+		st.A = s.a
+		st.B = s.b
+		st.X = s.x
+		for _, e := range s.c.elements {
+			e.Stamp(&st)
+		}
+		// gmin from every node to ground keeps the matrix nonsingular in
+		// the presence of floating or source-follower nodes.
+		for i := 0; i < nNodes; i++ {
+			s.a.Add(i, i, gmin)
+		}
+		if s.lu == nil {
+			lu, err := num.Factor(s.a)
+			if err != nil {
+				return fmt.Errorf("spice: singular MNA matrix: %w", err)
+			}
+			s.lu = lu
+		} else if err := s.lu.FactorInto(s.a); err != nil {
+			return fmt.Errorf("spice: singular MNA matrix: %w", err)
+		}
+		s.lu.Solve(s.b, s.xNew)
+		// Damped update with per-variable step clamp on node voltages.
+		maxDelta := 0.0
+		for i := 0; i < n; i++ {
+			d := s.xNew[i] - s.x[i]
+			if i < nNodes {
+				d = num.Clamp(d, -s.opt.MaxStep, s.opt.MaxStep)
+			}
+			if ad := math.Abs(d); ad > maxDelta && i < nNodes {
+				maxDelta = ad
+			}
+			s.x[i] += d
+		}
+		if math.IsNaN(maxDelta) {
+			return ErrNoConvergence
+		}
+		if maxDelta < s.opt.AbsTol+s.opt.RelTol*num.NormInf(s.x[:nNodes]) {
+			return nil
+		}
+	}
+	return ErrNoConvergence
+}
+
+// DCOperatingPoint solves the nonlinear DC operating point. It first
+// tries plain Newton from a zero (or provided) initial guess, then gmin
+// stepping, then source stepping.
+func DCOperatingPoint(c *Circuit, opt Options) (*Solution, error) {
+	s := newSolver(c, opt)
+	return s.dcop(nil)
+}
+
+// DCOperatingPointFrom solves the DC operating point starting from a
+// previous solution (continuation), which sweep drivers use for speed and
+// for hysteresis-free tracking.
+func DCOperatingPointFrom(c *Circuit, opt Options, prev *Solution) (*Solution, error) {
+	s := newSolver(c, opt)
+	return s.dcop(prev)
+}
+
+func (s *solver) dcop(init *Solution) (*Solution, error) {
+	tmpl := Stamper{DC: true, SrcScale: 1}
+	if init != nil && len(init.X) == len(s.x) {
+		copy(s.x, init.X)
+	}
+	if err := s.newton(tmpl, s.opt.Gmin); err == nil {
+		return s.solution(), nil
+	}
+	// gmin stepping: solve with a large gmin, then relax it decade by
+	// decade, reusing each solution as the next starting point.
+	for i := range s.x {
+		s.x[i] = 0
+	}
+	converged := true
+	for g := 1e-3; g >= s.opt.Gmin; g /= 10 {
+		if err := s.newton(tmpl, g); err != nil {
+			converged = false
+			break
+		}
+	}
+	if converged {
+		if err := s.newton(tmpl, s.opt.Gmin); err == nil {
+			return s.solution(), nil
+		}
+	}
+	// Source stepping: ramp all independent sources from 10% to 100%.
+	for i := range s.x {
+		s.x[i] = 0
+	}
+	for scale := 0.1; ; scale += 0.1 {
+		if scale > 1 {
+			scale = 1
+		}
+		st := tmpl
+		st.SrcScale = scale
+		if err := s.newton(st, s.opt.Gmin); err != nil {
+			return nil, fmt.Errorf("%w (source stepping failed at %.0f%%)", ErrNoConvergence, scale*100)
+		}
+		if scale == 1 {
+			return s.solution(), nil
+		}
+	}
+}
+
+func (s *solver) solution() *Solution {
+	x := make([]float64, len(s.x))
+	copy(x, s.x)
+	return &Solution{circuit: s.c, X: x}
+}
+
+// SweepResult holds a 1-D DC sweep.
+type SweepResult struct {
+	Values    []float64
+	Solutions []*Solution
+}
+
+// DCSweep sweeps the DC value of the named VSource over values, solving
+// the operating point at each step with continuation.
+func DCSweep(c *Circuit, opt Options, sourceName string, values []float64) (*SweepResult, error) {
+	e := c.FindElement(sourceName)
+	vs, ok := e.(*VSource)
+	if !ok {
+		return nil, fmt.Errorf("spice: DCSweep source %q not found or not a VSource", sourceName)
+	}
+	orig := vs.DC()
+	defer vs.SetDC(orig)
+	s := newSolver(c, opt)
+	res := &SweepResult{}
+	var prev *Solution
+	for _, v := range values {
+		vs.SetDC(v)
+		sol, err := s.dcop(prev)
+		if err != nil {
+			return nil, fmt.Errorf("spice: sweep point %s=%g: %w", sourceName, v, err)
+		}
+		res.Values = append(res.Values, v)
+		res.Solutions = append(res.Solutions, sol)
+		prev = sol
+	}
+	return res, nil
+}
+
+// TransientResult holds a fixed-step transient analysis.
+type TransientResult struct {
+	Time      []float64
+	Solutions []*Solution
+}
+
+// VoltageSeries extracts one node's waveform from the result.
+func (tr *TransientResult) VoltageSeries(node string) ([]float64, error) {
+	out := make([]float64, len(tr.Solutions))
+	for i, s := range tr.Solutions {
+		v, err := s.Voltage(node)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Transient runs a fixed-timestep transient analysis over [0, dur] with
+// the given number of steps. The initial condition is the DC operating
+// point at t = 0.
+func Transient(c *Circuit, opt Options, dur float64, steps int) (*TransientResult, error) {
+	if steps < 1 {
+		return nil, fmt.Errorf("spice: transient needs at least 1 step")
+	}
+	s := newSolver(c, opt)
+	op, err := s.dcop(nil)
+	if err != nil {
+		return nil, fmt.Errorf("spice: transient initial OP: %w", err)
+	}
+	dt := dur / float64(steps)
+	res := &TransientResult{
+		Time:      []float64{0},
+		Solutions: []*Solution{op},
+	}
+	prev := make([]float64, len(op.X))
+	copy(prev, op.X)
+	copy(s.x, op.X)
+	for k := 1; k <= steps; k++ {
+		t := float64(k) * dt
+		tmpl := Stamper{
+			Time:        t,
+			Dt:          dt,
+			Prev:        prev,
+			SrcScale:    1,
+			Trapezoidal: s.opt.Trapezoid,
+		}
+		if err := s.newton(tmpl, s.opt.Gmin); err != nil {
+			return nil, fmt.Errorf("spice: transient step %d (t=%g): %w", k, t, err)
+		}
+		sol := s.solution()
+		for _, e := range s.c.elements {
+			if cap, ok := e.(*Capacitor); ok {
+				cap.commitStep(sol.X, prev, dt, s.opt.Trapezoid)
+			}
+		}
+		copy(prev, sol.X)
+		res.Time = append(res.Time, t)
+		res.Solutions = append(res.Solutions, sol)
+	}
+	return res, nil
+}

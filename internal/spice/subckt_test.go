@@ -1,0 +1,145 @@
+package spice
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSubcktDivider(t *testing.T) {
+	c, err := Parse(`
+.subckt div top out
+R1 top out 1k
+R2 out 0 1k
+.ends
+V1 in 0 2.0
+Xa in mid div
+Xb mid low div
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := DCOperatingPoint(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Xa: divider from 2 V. Its bottom leg is loaded by Xb (2k to
+	// ground), so mid = 2 * (1k||2k + ... ) — compute directly:
+	// mid node sees 1k to in, and to ground: 1k (Xa.R2) || (Xb: 2k).
+	// Req = 1k*2k/3k = 666.67; mid = 2 * 666.67/1666.67 = 0.8.
+	vm, err := sol.Voltage("mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vm-0.8) > 1e-9 {
+		t.Fatalf("mid = %v, want 0.8", vm)
+	}
+	vl, _ := sol.Voltage("low")
+	if math.Abs(vl-0.4) > 1e-9 {
+		t.Fatalf("low = %v, want 0.4", vl)
+	}
+	// Internal nodes are namespaced: Xa's out is the external "mid", but
+	// no top-level node named "out" exists.
+	if _, err := sol.Voltage("out"); err == nil {
+		t.Fatal("subcircuit port name leaked into top level")
+	}
+}
+
+func TestSubcktNested(t *testing.T) {
+	c, err := Parse(`
+.subckt leg a b
+R1 a b 2k
+.ends
+.subckt div top out
+Xup top out leg
+Xdown out 0 leg
+.ends
+V1 in 0 1.0
+X1 in mid div
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := DCOperatingPoint(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, _ := sol.Voltage("mid")
+	if math.Abs(vm-0.5) > 1e-9 {
+		t.Fatalf("nested divider mid = %v, want 0.5", vm)
+	}
+}
+
+func TestSubcktWithMOSFET(t *testing.T) {
+	// The Fig. 2 monitor packaged as a subcircuit and instantiated.
+	src := `
+.subckt moncore vdd o1 o2 g1 g2 g3 g4
+M1 o1 g1 0 nmos W=3u   L=180n
+M2 o1 g2 0 nmos W=600n L=180n
+M3 o2 g3 0 nmos W=600n L=180n
+M4 o2 g4 0 nmos W=3u   L=180n
+M5 o1 o1 vdd pmos W=2u L=180n
+M6 o1 o2 vdd pmos W=1.6u L=180n
+M7 o2 o1 vdd pmos W=1.6u L=180n
+M8 o2 o2 vdd pmos W=2u L=180n
+.ends
+VDD vdd 0 1.2
+V1 a 0 0.5
+V2 b 0 0.2
+V3 c 0 0.5
+V4 d 0 0.6
+Xmon vdd out1 out2 a b c d moncore
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := DCOperatingPoint(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := sol.Voltage("out1")
+	v2, _ := sol.Voltage("out2")
+	if v1 <= 0 || v1 >= 1.2 || v2 <= 0 || v2 >= 1.2 {
+		t.Fatalf("monitor outputs out of rails: %v, %v", v1, v2)
+	}
+	// The asymmetric drive (left branch sinks more) must separate them.
+	if math.Abs(v1-v2) < 1e-3 {
+		t.Fatalf("outputs not separated: %v vs %v", v1, v2)
+	}
+}
+
+func TestSubcktErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"unknown subckt", "X1 a b nosuch\nR1 a 0 1k\nV1 a 0 1"},
+		{"port mismatch", ".subckt s a b\nR1 a b 1k\n.ends\nV1 in 0 1\nX1 in s"},
+		{"unterminated", ".subckt s a b\nR1 a b 1k\nV1 x 0 1"},
+		{"nested def", ".subckt s a\n.subckt t b\n.ends\n.ends"},
+		{"ends without subckt", ".ends\nV1 a 0 1\nR1 a 0 1"},
+		{"model inside subckt", ".subckt s a\n.model m nmos\n.ends"},
+		{"bad element in body", ".subckt s a\nQ1 a 0 0\n.ends\nV1 in 0 1\nX1 in s\nR1 in 0 1k"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Fatalf("%s: expected parse error", c.name)
+		}
+	}
+}
+
+func TestSubcktDepthLimit(t *testing.T) {
+	// A subcircuit that instantiates itself must hit the depth limit.
+	src := `
+.subckt loop a
+Xself a loop
+.ends
+V1 in 0 1
+R1 in 0 1k
+X1 in loop
+`
+	_, err := Parse(src)
+	if err == nil || !strings.Contains(err.Error(), "nesting") {
+		t.Fatalf("expected depth-limit error, got %v", err)
+	}
+}

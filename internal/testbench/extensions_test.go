@@ -1,0 +1,145 @@
+package testbench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/biquad"
+	"repro/internal/core"
+	"repro/internal/ndf"
+)
+
+func TestExtQBandpassSeesQ(t *testing.T) {
+	e, err := RunExtQ(sys(), []float64{-0.30, -0.15, 0.15, 0.30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Band-pass observation must react to Q deviations.
+	for i, d := range e.Devs {
+		if e.BPNDF[i] <= 0 {
+			t.Fatalf("BP observation blind to Q deviation %v", d)
+		}
+	}
+	if !strings.Contains(e.Render(), "Q-verification") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestDualObservationSeparatesQFromF0(t *testing.T) {
+	// The point of adding the band-pass observation: a Q fault and an
+	// f0 fault produce clearly different (LP, BP) NDF ratios, so the
+	// pair diagnoses which parameter moved — single-output observation
+	// cannot do that.
+	s := sys()
+	bpSys, err := core.NewSystem(s.Stimulus, s.Golden, s.Bank, s.Capture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpSys.Observe = core.ObserveBP
+
+	ratio := func(p biquad.Params) float64 {
+		lp, err := s.NDFOfParams(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp, err := bpSys.NDFOfParams(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lp == 0 {
+			t.Fatal("LP NDF zero for a faulty CUT")
+		}
+		return bp / lp
+	}
+	qFault := s.Golden
+	qFault.Q *= 1.3
+	f0Fault := s.Golden.WithF0Shift(0.10)
+	rQ, rF0 := ratio(qFault), ratio(f0Fault)
+	if rQ/rF0 < 1.3 && rF0/rQ < 1.3 {
+		t.Fatalf("BP/LP ratios too similar to diagnose: Q fault %v vs f0 fault %v", rQ, rF0)
+	}
+}
+
+func TestExtQMonotoneAwayFromZero(t *testing.T) {
+	e, err := RunExtQ(sys(), []float64{0.10, 0.20, 0.40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(e.BPNDF[0] < e.BPNDF[1] && e.BPNDF[1] < e.BPNDF[2]) {
+		t.Fatalf("BP NDF not increasing with Q deviation: %v", e.BPNDF)
+	}
+}
+
+func TestDefaultFaultSet(t *testing.T) {
+	fs := DefaultFaultSet()
+	if len(fs) != 16 { // 4 targets × (2 parametric + open + short)
+		t.Fatalf("fault set size = %d, want 16", len(fs))
+	}
+	para, cata := 0, 0
+	for _, f := range fs {
+		if f.Kind == biquad.FaultParametric {
+			para++
+		} else {
+			cata++
+		}
+	}
+	if para != 8 || cata != 8 {
+		t.Fatalf("fault mix = %d parametric, %d catastrophic", para, cata)
+	}
+}
+
+func TestFaultTableCampaign(t *testing.T) {
+	s := sys()
+	dec, err := s.CalibrateFromTolerance(0.05, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := RunFaultTable(s, dec, DefaultFaultSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Cases) != 16 {
+		t.Fatalf("cases = %d", len(tab.Cases))
+	}
+	// All catastrophic faults must be detected.
+	for _, c := range tab.Cases {
+		if c.Fault.Kind != biquad.FaultParametric && !c.Detected {
+			t.Fatalf("catastrophic fault %s escaped (NDF %v)", c.Fault, c.NDF)
+		}
+	}
+	// ±10% R and C faults move f0 by ~10% > 5% tolerance -> detected.
+	for _, c := range tab.Cases {
+		if c.Fault.Kind == biquad.FaultParametric &&
+			(c.Fault.Target == biquad.TargetR || c.Fault.Target == biquad.TargetC) &&
+			!c.Detected {
+			t.Fatalf("f0-moving fault %s escaped (NDF %v)", c.Fault, c.NDF)
+		}
+	}
+	if cov := tab.Coverage(); cov < 0.7 {
+		t.Fatalf("coverage = %v, implausibly low", cov)
+	}
+	r := tab.Render()
+	if !strings.Contains(r, "coverage") || !strings.Contains(r, "open(RQ)") {
+		t.Fatalf("render malformed:\n%s", r)
+	}
+}
+
+func TestFaultTableThresholdSensitivity(t *testing.T) {
+	s := sys()
+	// An absurdly high threshold detects nothing.
+	tab, err := RunFaultTable(s, ndf.Decision{Threshold: 10}, DefaultFaultSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Coverage() != 0 {
+		t.Fatalf("coverage with huge threshold = %v, want 0", tab.Coverage())
+	}
+	// A zero threshold detects everything (every fault moves something).
+	tab0, err := RunFaultTable(s, ndf.Decision{Threshold: 0}, DefaultFaultSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab0.Coverage() != 1 {
+		t.Fatalf("coverage with zero threshold = %v, want 1", tab0.Coverage())
+	}
+}

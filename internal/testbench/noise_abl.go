@@ -1,0 +1,259 @@
+package testbench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/ndf"
+	"repro/internal/rng"
+	"repro/internal/signature"
+)
+
+// Noise is the detection experiment behind the paper's claim that with
+// white noise of 3σ = 0.015 V, f0 deviations as small as 1% are
+// detectable.
+type Noise struct {
+	Sigma     float64
+	Periods   int     // Lissajous periods averaged per measurement
+	Threshold float64 // null-calibrated acceptance threshold
+	Devs      []float64
+	Detect    []float64 // detection rate per deviation
+	FalseRate float64   // false-alarm rate of the threshold on fresh nulls
+}
+
+// RunNoiseDetection calibrates the threshold on nullTrials noisy golden
+// captures (max-quantile) and measures detection rates over the given
+// deviations with trials captures each. Every measurement averages the
+// NDF over 5 consecutive Lissajous periods (1 ms of observation), the
+// variance-reduction step that makes the paper's 1% claim reachable.
+func RunNoiseDetection(sys *core.System, sigma float64, devs []float64, nullTrials, trials int, seed uint64) (*Noise, error) {
+	const periods = 5
+	src := rng.New(seed)
+	ndfOf := func(shift float64, stream *rng.Stream) (float64, error) {
+		return sys.AveragedNDF(sys.Golden.WithF0Shift(shift), sigma, stream, periods)
+	}
+	nulls := make([]float64, nullTrials)
+	for i := range nulls {
+		v, err := ndfOf(0, src.Split(uint64(i)))
+		if err != nil {
+			return nil, err
+		}
+		nulls[i] = v
+	}
+	dec, err := ndf.ThresholdFromNull(nulls, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	out := &Noise{Sigma: sigma, Periods: periods, Threshold: dec.Threshold, Devs: devs}
+	// Fresh nulls for the false-alarm estimate.
+	fp := 0
+	for i := 0; i < trials; i++ {
+		v, err := ndfOf(0, src.Split(uint64(1e6)+uint64(i)))
+		if err != nil {
+			return nil, err
+		}
+		if !dec.Pass(v) {
+			fp++
+		}
+	}
+	out.FalseRate = float64(fp) / float64(trials)
+	for di, d := range devs {
+		det := 0
+		for i := 0; i < trials; i++ {
+			v, err := ndfOf(d, src.Split(uint64(2e6)+uint64(di*trials+i)))
+			if err != nil {
+				return nil, err
+			}
+			if !dec.Pass(v) {
+				det++
+			}
+		}
+		out.Detect = append(out.Detect, float64(det)/float64(trials))
+	}
+	return out, nil
+}
+
+// Render summarizes the detection experiment.
+func (n *Noise) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "noise sigma = %.4f V (3σ = %.4f V), %d periods/measurement, threshold = %.4f, false-alarm = %.2f\n",
+		n.Sigma, 3*n.Sigma, n.Periods, n.Threshold, n.FalseRate)
+	b.WriteString("dev%   detection\n")
+	for i := range n.Devs {
+		fmt.Fprintf(&b, "%+5.1f  %.2f\n", n.Devs[i]*100, n.Detect[i])
+	}
+	return b.String()
+}
+
+// AblLinear compares nonlinear vs straight-line zoning (refs [12][13]):
+// sensitivity of the NDF curve and hardware-cost accounting.
+type AblLinear struct {
+	Devs         []float64
+	NonlinearNDF []float64
+	LinearNDF    []float64
+	NonlinearUm2 float64
+	LinearUm2    float64
+}
+
+// RunAblLinear sweeps both banks over the deviation grid.
+func RunAblLinear(sys *core.System, devs []float64) (*AblLinear, error) {
+	lin, err := baseline.NewLinearTableI()
+	if err != nil {
+		return nil, err
+	}
+	linSys, err := core.NewSystem(sys.Stimulus, sys.Golden, lin, sys.Capture)
+	if err != nil {
+		return nil, err
+	}
+	nl, err := sys.SweepF0(devs)
+	if err != nil {
+		return nil, err
+	}
+	ll, err := linSys.SweepF0(devs)
+	if err != nil {
+		return nil, err
+	}
+	return &AblLinear{
+		Devs:         devs,
+		NonlinearNDF: nl,
+		LinearNDF:    ll,
+		NonlinearUm2: monitor.BankArea(sys.Bank),
+		LinearUm2:    float64(lin.Size()) * baseline.LinearMonitorAreaUm2,
+	}, nil
+}
+
+// Render prints the comparison.
+func (a *AblLinear) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "zoning ablation: nonlinear bank %.1f µm² vs straight-line bank %.1f µm² (cores only for linear)\n",
+		a.NonlinearUm2, a.LinearUm2)
+	b.WriteString("dev%   nonlinear  linear\n")
+	for i := range a.Devs {
+		fmt.Fprintf(&b, "%+5.1f  %.4f     %.4f\n", a.Devs[i]*100, a.NonlinearNDF[i], a.LinearNDF[i])
+	}
+	return b.String()
+}
+
+// AblCounter quantifies capture quantization: NDF error of the clocked
+// capture vs the exact signature across counter widths and clock rates.
+type AblCounter struct {
+	Shift  float64
+	Bits   []int
+	Clocks []float64
+	// AbsErr[i][j] is |NDF_captured - NDF_exact| at Bits[i], Clocks[j].
+	AbsErr   [][]float64
+	ExactNDF float64
+}
+
+// RunAblCounter runs the ablation at one deviation.
+func RunAblCounter(sys *core.System, shift float64, bits []int, clocks []float64) (*AblCounter, error) {
+	g, err := sys.GoldenSignature()
+	if err != nil {
+		return nil, err
+	}
+	p := sys.Golden.WithF0Shift(shift)
+	exactSig, err := sys.ExactSignature(p)
+	if err != nil {
+		return nil, err
+	}
+	exact, err := ndf.NDF(exactSig, g)
+	if err != nil {
+		return nil, err
+	}
+	cls, err := sys.Classifier(p, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &AblCounter{Shift: shift, Bits: bits, Clocks: clocks, ExactNDF: exact}
+	for _, m := range bits {
+		row := make([]float64, len(clocks))
+		for j, f := range clocks {
+			cfg := signature.CaptureConfig{ClockHz: f, CounterBits: m}
+			sig, err := signature.Capture(cls, sys.Period(), cfg)
+			if err != nil {
+				return nil, err
+			}
+			v, err := ndf.NDF(sig.Canonical(), g)
+			if err != nil {
+				return nil, err
+			}
+			d := v - exact
+			if d < 0 {
+				d = -d
+			}
+			row[j] = d
+		}
+		out.AbsErr = append(out.AbsErr, row)
+	}
+	return out, nil
+}
+
+// Render prints the error matrix.
+func (a *AblCounter) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "capture ablation at %+.0f%% shift (exact NDF %.4f)\nbits\\clock", a.Shift*100, a.ExactNDF)
+	for _, c := range a.Clocks {
+		fmt.Fprintf(&b, "  %8.0e", c)
+	}
+	b.WriteString("\n")
+	for i, m := range a.Bits {
+		fmt.Fprintf(&b, "%-9d", m)
+		for _, e := range a.AbsErr[i] {
+			fmt.Fprintf(&b, "  %.6f", e)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// AblRegression is the alternate-test baseline experiment: predict the
+// f0 deviation from signature dwell features (refs [10][11]).
+type AblRegression struct {
+	TrainRMSE float64
+	TestRMSE  float64
+}
+
+// RunAblRegression trains on trainDevs and evaluates on testDevs.
+func RunAblRegression(sys *core.System, trainDevs, testDevs []float64) (*AblRegression, error) {
+	mkSigs := func(devs []float64) ([]*signature.Signature, error) {
+		out := make([]*signature.Signature, len(devs))
+		for i, d := range devs {
+			s, err := sys.ExactSignature(sys.Golden.WithF0Shift(d))
+			if err != nil {
+				return nil, err
+			}
+			out[i] = s
+		}
+		return out, nil
+	}
+	trainSigs, err := mkSigs(trainDevs)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := baseline.TrainRegressor(trainSigs, trainDevs)
+	if err != nil {
+		return nil, err
+	}
+	trainRMSE, err := baseline.EvaluateRegressor(reg, trainSigs, trainDevs)
+	if err != nil {
+		return nil, err
+	}
+	testSigs, err := mkSigs(testDevs)
+	if err != nil {
+		return nil, err
+	}
+	testRMSE, err := baseline.EvaluateRegressor(reg, testSigs, testDevs)
+	if err != nil {
+		return nil, err
+	}
+	return &AblRegression{TrainRMSE: trainRMSE, TestRMSE: testRMSE}, nil
+}
+
+// Render prints the regression quality.
+func (a *AblRegression) Render() string {
+	return fmt.Sprintf("alternate-test regression: train RMSE %.4f, held-out RMSE %.4f (fractional f0 deviation)\n",
+		a.TrainRMSE, a.TestRMSE)
+}

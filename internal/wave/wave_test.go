@@ -1,0 +1,289 @@
+package wave
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dsp"
+	"repro/internal/rng"
+)
+
+func TestDC(t *testing.T) {
+	w := DC(0.6)
+	if w.Eval(0) != 0.6 || w.Eval(123) != 0.6 {
+		t.Fatal("DC not constant")
+	}
+	if w.Period() != 0 {
+		t.Fatal("DC period must be 0")
+	}
+}
+
+func TestSineBasics(t *testing.T) {
+	s := Sine{Amp: 2, Freq: 10, Offset: 1}
+	if got := s.Eval(0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("sine at t=0 = %v, want offset 1", got)
+	}
+	// Quarter period: sin peaks.
+	if got := s.Eval(0.025); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("sine peak = %v, want 3", got)
+	}
+	if p := s.Period(); math.Abs(p-0.1) > 1e-15 {
+		t.Fatalf("period = %v, want 0.1", p)
+	}
+	if (Sine{Freq: 0}).Period() != 0 {
+		t.Fatal("zero-frequency sine must report period 0")
+	}
+}
+
+func TestMultitonePeriod(t *testing.T) {
+	m, err := NewMultitone(0.5, 5000, []int{1, 2, 3}, []float64{0.22, 0.13, 0.08}, []float64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Period(); math.Abs(p-200e-6) > 1e-12 {
+		t.Fatalf("period = %v, want 200 µs", p)
+	}
+}
+
+func TestMultitonePeriodGCD(t *testing.T) {
+	// Harmonics 2 and 4 share GCD 2 -> period halves.
+	m, err := NewMultitone(0, 1000, []int{2, 4}, []float64{1, 1}, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Period(); math.Abs(p-0.5e-3) > 1e-12 {
+		t.Fatalf("period = %v, want 0.5 ms", p)
+	}
+}
+
+func TestMultitoneIsPeriodic(t *testing.T) {
+	m, err := NewMultitone(0.5, 5000, []int{1, 2, 3}, []float64{0.2, 0.1, 0.05}, []float64{0.3, 1.1, -0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Period()
+	for _, tt := range []float64{0, 1e-5, 7.3e-5, 1.9e-4} {
+		if d := math.Abs(m.Eval(tt) - m.Eval(tt+p)); d > 1e-9 {
+			t.Fatalf("waveform not periodic: |v(t)-v(t+T)| = %v at t=%v", d, tt)
+		}
+	}
+}
+
+func TestMultitoneValidation(t *testing.T) {
+	if _, err := NewMultitone(0, -5, []int{1}, []float64{1}, []float64{0}); err == nil {
+		t.Fatal("negative fundamental accepted")
+	}
+	if _, err := NewMultitone(0, 5, []int{1, 2}, []float64{1}, []float64{0}); err == nil {
+		t.Fatal("mismatched slices accepted")
+	}
+	if _, err := NewMultitone(0, 5, []int{0}, []float64{1}, []float64{0}); err == nil {
+		t.Fatal("zero harmonic accepted")
+	}
+	if _, err := NewMultitone(0, 5, nil, nil, nil); err == nil {
+		t.Fatal("empty tone list accepted")
+	}
+}
+
+func TestMultitonePeakToPeak(t *testing.T) {
+	m, _ := NewMultitone(0.5, 1000, []int{1, 2}, []float64{0.2, -0.1}, []float64{0, 0})
+	lo, hi := m.PeakToPeak()
+	if math.Abs(lo-0.2) > 1e-12 || math.Abs(hi-0.8) > 1e-12 {
+		t.Fatalf("PeakToPeak = %v,%v want 0.2,0.8", lo, hi)
+	}
+}
+
+func TestMultitoneSpectrum(t *testing.T) {
+	// The sampled multitone must show exactly its tone amplitudes.
+	m, err := NewMultitone(0.5, 5000, []int{1, 2, 3}, []float64{0.22, 0.13, 0.08}, []float64{0, 0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := SamplePeriods(m, 1, 2000)
+	sp := dsp.AmplitudeSpectrum(rec.V, rec.Fs)
+	checks := []struct {
+		freq, amp float64
+	}{{0, 0.5}, {5000, 0.22}, {10000, 0.13}, {15000, 0.08}}
+	for _, c := range checks {
+		bin := int(math.Round(c.freq / (rec.Fs / float64(len(rec.V)))))
+		if math.Abs(sp.Amp[bin]-c.amp) > 1e-6 {
+			t.Fatalf("amp at %g Hz = %v, want %v", c.freq, sp.Amp[bin], c.amp)
+		}
+	}
+}
+
+func TestSquare(t *testing.T) {
+	s := Square{Lo: 0, Hi: 1, Freq: 100, Duty: 0.25}
+	if s.Eval(0.001) != 1 { // 10% into period
+		t.Fatal("square should be Hi early in period")
+	}
+	if s.Eval(0.005) != 0 { // 50% into period
+		t.Fatal("square should be Lo past duty")
+	}
+	if s.Period() != 0.01 {
+		t.Fatalf("period = %v, want 0.01", s.Period())
+	}
+	if (Square{Freq: 0, Lo: -1}).Eval(3) != -1 {
+		t.Fatal("zero-frequency square should sit at Lo")
+	}
+}
+
+func TestNoisyStatistics(t *testing.T) {
+	n := &Noisy{Base: DC(0.5), Sigma: 0.005, Src: rng.New(42)}
+	if n.Period() != 0 {
+		t.Fatal("noisy DC period should be 0")
+	}
+	sum, sumSq := 0.0, 0.0
+	N := 100000
+	for i := 0; i < N; i++ {
+		v := n.Eval(0) - 0.5
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(N)
+	std := math.Sqrt(sumSq/float64(N) - mean*mean)
+	if math.Abs(mean) > 1e-4 {
+		t.Fatalf("noise mean = %v, want ~0", mean)
+	}
+	if math.Abs(std-0.005) > 2e-4 {
+		t.Fatalf("noise std = %v, want 0.005", std)
+	}
+}
+
+func TestClamped(t *testing.T) {
+	c := Clamped{Base: Sine{Amp: 2, Freq: 1}, Lo: -1, Hi: 1}
+	if got := c.Eval(0.25); got != 1 {
+		t.Fatalf("clamp high = %v, want 1", got)
+	}
+	if got := c.Eval(0.75); got != -1 {
+		t.Fatalf("clamp low = %v, want -1", got)
+	}
+	if c.Period() != 1 {
+		t.Fatal("clamped period must delegate")
+	}
+}
+
+func TestSampleGrid(t *testing.T) {
+	rec := Sample(DC(2), 1e-3, 1e6)
+	if len(rec.V) != 1000 {
+		t.Fatalf("sample count = %d, want 1000", len(rec.V))
+	}
+	if rec.T[0] != 0 || math.Abs(rec.T[999]-999e-6) > 1e-12 {
+		t.Fatalf("time grid wrong: %v ... %v", rec.T[0], rec.T[999])
+	}
+	for _, v := range rec.V {
+		if v != 2 {
+			t.Fatal("DC sample wrong")
+		}
+	}
+}
+
+func TestSamplePeriodsPanicsOnAperiodic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for aperiodic waveform")
+		}
+	}()
+	SamplePeriods(DC(1), 1, 100)
+}
+
+// Property: multitone amplitude never exceeds the PeakToPeak bound.
+func TestMultitoneBoundProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		amps := []float64{r.Uniform(0, 0.3), r.Uniform(0, 0.2), r.Uniform(0, 0.1)}
+		phases := []float64{r.Uniform(0, 6.28), r.Uniform(0, 6.28), r.Uniform(0, 6.28)}
+		m, err := NewMultitone(0.5, 1000, []int{1, 2, 3}, amps, phases)
+		if err != nil {
+			return false
+		}
+		lo, hi := m.PeakToPeak()
+		for i := 0; i < 500; i++ {
+			v := m.Eval(float64(i) * 2e-6)
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPWLValidation(t *testing.T) {
+	if _, err := NewPWL(nil, nil, 0); err == nil {
+		t.Fatal("empty PWL accepted")
+	}
+	if _, err := NewPWL([]float64{0, 0}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("non-increasing times accepted")
+	}
+	if _, err := NewPWL([]float64{0, 1}, []float64{1, 2}, -1); err == nil {
+		t.Fatal("negative repeat accepted")
+	}
+	if _, err := NewPWL([]float64{0, 2}, []float64{1, 2}, 1); err == nil {
+		t.Fatal("knots past repeat period accepted")
+	}
+}
+
+func TestPWLInterpolation(t *testing.T) {
+	p, err := NewPWL([]float64{0, 1e-3, 2e-3}, []float64{0, 1, 0.5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ t, want float64 }{
+		{-1, 0}, // before first knot: hold
+		{0, 0},
+		{0.5e-3, 0.5}, // mid first segment
+		{1e-3, 1},
+		{1.5e-3, 0.75}, // mid second segment
+		{5e-3, 0.5},    // after last knot: hold
+	}
+	for _, c := range cases {
+		if got := p.Eval(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("PWL(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if p.Period() != 0 {
+		t.Fatal("non-repeating PWL must report period 0")
+	}
+}
+
+func TestPWLRepeats(t *testing.T) {
+	// Sawtooth: 0 at t=0, 1 at 0.8ms, wraps back to 0 at 1ms.
+	p, err := NewPWL([]float64{0, 0.8e-3}, []float64{0, 1}, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Period() != 1e-3 {
+		t.Fatalf("period = %v", p.Period())
+	}
+	if got := p.Eval(0.4e-3); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("ramp value = %v, want 0.5", got)
+	}
+	// Wrap segment: halfway between 0.8ms (1.0) and 1.0ms (0.0).
+	if got := p.Eval(0.9e-3); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("wrap value = %v, want 0.5", got)
+	}
+	// Periodicity.
+	for _, tt := range []float64{0.1e-3, 0.65e-3, 0.93e-3} {
+		if d := math.Abs(p.Eval(tt) - p.Eval(tt+3e-3)); d > 1e-12 {
+			t.Fatalf("PWL not periodic at t=%v: Δ=%v", tt, d)
+		}
+	}
+	// Negative time wraps.
+	if d := math.Abs(p.Eval(-0.1e-3) - p.Eval(0.9e-3)); d > 1e-12 {
+		t.Fatal("negative time wrap broken")
+	}
+}
+
+func TestPWLDrivesTransient(t *testing.T) {
+	// PWL as a spice source: ramp into an RC; final value settles to 1.
+	p, err := NewPWL([]float64{0, 1e-4}, []float64{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Eval(2e-4) != 1 {
+		t.Fatal("ramp should hold at 1")
+	}
+}

@@ -1,0 +1,274 @@
+// Package zone enumerates and analyzes the plane partition induced by a
+// monitor bank: which zone codes exist inside the unit square, where they
+// sit, and whether the codification satisfies the paper's neighbouring
+// property ("According to the zone codification criterion, neighbouring
+// zones only differ in one bit"), which is what makes the Hamming
+// distance a meaningful discrepancy measure.
+package zone
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/monitor"
+)
+
+// Info describes one zone discovered in the partition.
+type Info struct {
+	Code  monitor.Code
+	Cells int     // number of grid cells carrying the code
+	MinX  float64 // bounding box
+	MaxX  float64
+	MinY  float64
+	MaxY  float64
+	RepX  float64 // centroid of the zone's cells (a representative point)
+	RepY  float64
+}
+
+// Map is the grid-sampled partition of [lo,hi]² by a monitor bank.
+type Map struct {
+	bank   *monitor.Bank
+	lo, hi float64
+	n      int
+	grid   []monitor.Code // n×n row-major
+	zones  map[monitor.Code]*Info
+	adj    map[monitor.Code]map[monitor.Code]bool
+}
+
+// Build samples the bank on an n×n grid over [lo,hi]² and constructs the
+// zone map with 4-neighbour adjacency.
+func Build(b *monitor.Bank, lo, hi float64, n int) (*Map, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("zone: grid must be at least 2x2")
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("zone: empty range [%g,%g]", lo, hi)
+	}
+	m := &Map{
+		bank:  b,
+		lo:    lo,
+		hi:    hi,
+		n:     n,
+		grid:  make([]monitor.Code, n*n),
+		zones: make(map[monitor.Code]*Info),
+		adj:   make(map[monitor.Code]map[monitor.Code]bool),
+	}
+	step := (hi - lo) / float64(n-1)
+	for iy := 0; iy < n; iy++ {
+		y := lo + float64(iy)*step
+		for ix := 0; ix < n; ix++ {
+			x := lo + float64(ix)*step
+			c := b.Classify(x, y)
+			m.grid[iy*n+ix] = c
+			z, ok := m.zones[c]
+			if !ok {
+				z = &Info{Code: c, MinX: x, MaxX: x, MinY: y, MaxY: y}
+				m.zones[c] = z
+			}
+			z.Cells++
+			if x < z.MinX {
+				z.MinX = x
+			}
+			if x > z.MaxX {
+				z.MaxX = x
+			}
+			if y < z.MinY {
+				z.MinY = y
+			}
+			if y > z.MaxY {
+				z.MaxY = y
+			}
+			z.RepX += x
+			z.RepY += y
+		}
+	}
+	for _, z := range m.zones {
+		z.RepX /= float64(z.Cells)
+		z.RepY /= float64(z.Cells)
+	}
+	// 4-neighbour adjacency.
+	link := func(a, b monitor.Code) {
+		if a == b {
+			return
+		}
+		if m.adj[a] == nil {
+			m.adj[a] = make(map[monitor.Code]bool)
+		}
+		if m.adj[b] == nil {
+			m.adj[b] = make(map[monitor.Code]bool)
+		}
+		m.adj[a][b] = true
+		m.adj[b][a] = true
+	}
+	for iy := 0; iy < n; iy++ {
+		for ix := 0; ix < n; ix++ {
+			c := m.grid[iy*n+ix]
+			if ix+1 < n {
+				link(c, m.grid[iy*n+ix+1])
+			}
+			if iy+1 < n {
+				link(c, m.grid[(iy+1)*n+ix])
+			}
+		}
+	}
+	return m, nil
+}
+
+// Lookup returns the zone code at (x, y) (direct bank classification,
+// not grid interpolation).
+func (m *Map) Lookup(x, y float64) monitor.Code { return m.bank.Classify(x, y) }
+
+// Zones returns the discovered zones sorted by decimal code value.
+func (m *Map) Zones() []Info {
+	out := make([]Info, 0, len(m.zones))
+	for _, z := range m.zones {
+		out = append(out, *z)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return m.bank.Decimal(out[i].Code) < m.bank.Decimal(out[j].Code)
+	})
+	return out
+}
+
+// NumZones returns the number of distinct codes observed.
+func (m *Map) NumZones() int { return len(m.zones) }
+
+// Violation is a pair of adjacent zones whose codes differ in more than
+// one bit.
+type Violation struct {
+	A, B monitor.Code
+	Dist int
+}
+
+// GrayViolations lists adjacent zone pairs with Hamming distance > 1.
+// A small number can appear where more than one boundary crosses a grid
+// cell (boundary intersections); a large number indicates a broken
+// codification.
+func (m *Map) GrayViolations() []Violation {
+	var out []Violation
+	seen := make(map[[2]monitor.Code]bool)
+	for a, nbrs := range m.adj {
+		for b := range nbrs {
+			key := [2]monitor.Code{a, b}
+			if a > b {
+				key = [2]monitor.Code{b, a}
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if d := a.HammingDistance(b); d > 1 {
+				out = append(out, Violation{A: key[0], B: key[1], Dist: d})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// AdjacentPairs returns the total number of distinct adjacent zone pairs.
+func (m *Map) AdjacentPairs() int {
+	n := 0
+	for _, nbrs := range m.adj {
+		n += len(nbrs)
+	}
+	return n / 2
+}
+
+// Components returns, for each zone code, the number of 4-connected
+// grid regions carrying that code. A code split across disconnected
+// regions is legal but weakens the signature (two distant plane areas
+// become indistinguishable); the Table I partition is expected to be
+// almost entirely single-region.
+func (m *Map) Components() map[monitor.Code]int {
+	seen := make([]bool, len(m.grid))
+	out := make(map[monitor.Code]int)
+	var stack []int
+	for start := range m.grid {
+		if seen[start] {
+			continue
+		}
+		code := m.grid[start]
+		out[code]++
+		// Flood fill this region.
+		stack = append(stack[:0], start)
+		seen[start] = true
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			cy, cx := cur/m.n, cur%m.n
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				ny, nx := cy+d[0], cx+d[1]
+				if ny < 0 || ny >= m.n || nx < 0 || nx >= m.n {
+					continue
+				}
+				ni := ny*m.n + nx
+				if !seen[ni] && m.grid[ni] == code {
+					seen[ni] = true
+					stack = append(stack, ni)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MultiRegionCodes lists codes split across more than one region.
+func (m *Map) MultiRegionCodes() []monitor.Code {
+	var out []monitor.Code
+	for code, n := range m.Components() {
+		if n > 1 {
+			out = append(out, code)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ASCIIArt renders the partition as a character grid (one glyph per
+// zone, origin at the lower left) — a terminal rendition of Fig. 6's
+// plane. Zones are assigned glyphs in decimal-code order.
+func (m *Map) ASCIIArt(cols, rows int) string {
+	if cols < 2 {
+		cols = 41
+	}
+	if rows < 2 {
+		rows = 21
+	}
+	const glyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ*"
+	glyph := make(map[monitor.Code]byte)
+	for i, z := range m.Zones() {
+		glyph[z.Code] = glyphs[i%len(glyphs)]
+	}
+	var b strings.Builder
+	for r := rows - 1; r >= 0; r-- {
+		y := m.lo + (m.hi-m.lo)*float64(r)/float64(rows-1)
+		for c := 0; c < cols; c++ {
+			x := m.lo + (m.hi-m.lo)*float64(c)/float64(cols-1)
+			g, ok := glyph[m.Lookup(x, y)]
+			if !ok {
+				g = '?'
+			}
+			b.WriteByte(g)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table renders the zone inventory like the Fig. 6 labels.
+func (m *Map) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-8s %-22s %s\n", "code", "cells", "bbox", "representative")
+	for _, z := range m.Zones() {
+		fmt.Fprintf(&b, "%-10s %-8d [%.2f,%.2f]x[%.2f,%.2f]  (%.3f, %.3f)\n",
+			m.bank.FormatCode(z.Code), z.Cells, z.MinX, z.MaxX, z.MinY, z.MaxY, z.RepX, z.RepY)
+	}
+	return b.String()
+}

@@ -1,0 +1,189 @@
+package zone
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/monitor"
+)
+
+func buildMap(t *testing.T, n int) *Map {
+	t.Helper()
+	m, err := Build(monitor.NewAnalyticTableI(), 0, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBuildValidation(t *testing.T) {
+	b := monitor.NewAnalyticTableI()
+	if _, err := Build(b, 0, 1, 1); err == nil {
+		t.Fatal("1x1 grid accepted")
+	}
+	if _, err := Build(b, 1, 0, 10); err == nil {
+		t.Fatal("empty range accepted")
+	}
+}
+
+func TestZoneCountMatchesPaperScale(t *testing.T) {
+	m := buildMap(t, 141)
+	// Fig. 6 labels 16 zones; six curves can cut the square into a few
+	// more cells depending on exact geometry. Require the same order of
+	// magnitude partition, not fewer than 10 nor an explosion.
+	if n := m.NumZones(); n < 10 || n > 30 {
+		t.Fatalf("zones = %d, want 10..30 (paper shows 16)", n)
+	}
+}
+
+func TestOriginZoneAllZeros(t *testing.T) {
+	m := buildMap(t, 81)
+	if c := m.Lookup(0.02, 0.0); c != 0 {
+		t.Fatalf("origin zone code = %d, want 0", c)
+	}
+	// The all-zeros zone must exist in the inventory.
+	found := false
+	for _, z := range m.Zones() {
+		if z.Code == 0 {
+			found = true
+			if z.Cells == 0 {
+				t.Fatal("zone 0 empty")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("zone 0 missing from inventory")
+	}
+}
+
+func TestZonesSortedAndCellsSumToGrid(t *testing.T) {
+	m := buildMap(t, 61)
+	zones := m.Zones()
+	bank := monitor.NewAnalyticTableI()
+	total := 0
+	prev := -1
+	for _, z := range zones {
+		d := bank.Decimal(z.Code)
+		if d < prev {
+			t.Fatal("zones not sorted by decimal code")
+		}
+		prev = d
+		total += z.Cells
+		if z.MinX > z.MaxX || z.MinY > z.MaxY {
+			t.Fatalf("invalid bbox in %+v", z)
+		}
+		if z.RepX < z.MinX-1e-9 || z.RepX > z.MaxX+1e-9 {
+			t.Fatalf("representative outside bbox: %+v", z)
+		}
+	}
+	if total != 61*61 {
+		t.Fatalf("cells sum to %d, want %d", total, 61*61)
+	}
+}
+
+func TestGrayPropertyHolds(t *testing.T) {
+	m := buildMap(t, 141)
+	viol := m.GrayViolations()
+	pairs := m.AdjacentPairs()
+	if pairs < 10 {
+		t.Fatalf("only %d adjacent pairs; grid too coarse", pairs)
+	}
+	// Genuine violations only occur where two boundaries intersect
+	// within one grid cell; they must be a small minority.
+	if len(viol) > pairs/4 {
+		t.Fatalf("%d/%d adjacent pairs violate the Gray property", len(viol), pairs)
+	}
+	for _, v := range viol {
+		if v.Dist <= 1 {
+			t.Fatalf("non-violation reported: %+v", v)
+		}
+	}
+}
+
+func TestGrayViolationsShrinkWithResolution(t *testing.T) {
+	coarse := buildMap(t, 41)
+	fine := buildMap(t, 161)
+	// With a finer grid, fewer cell crossings straddle two boundaries,
+	// so the violating *fraction* must not grow.
+	cf := float64(len(coarse.GrayViolations())) / float64(coarse.AdjacentPairs()+1)
+	ff := float64(len(fine.GrayViolations())) / float64(fine.AdjacentPairs()+1)
+	if ff > cf+0.05 {
+		t.Fatalf("violation fraction grew with resolution: %v -> %v", cf, ff)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	m := buildMap(t, 41)
+	tab := m.Table()
+	if !strings.Contains(tab, "000000 (0)") {
+		t.Fatalf("table missing origin zone:\n%s", tab)
+	}
+	if len(strings.Split(strings.TrimSpace(tab), "\n")) != m.NumZones()+1 {
+		t.Fatal("table row count mismatch")
+	}
+}
+
+func TestLookupConsistentWithGridMajority(t *testing.T) {
+	m := buildMap(t, 61)
+	for _, z := range m.Zones() {
+		// The representative point must map back to its own zone for
+		// convex-ish zones; allow occasional mismatch for crescent zones
+		// but the origin zone must always round-trip.
+		if z.Code == 0 {
+			if got := m.Lookup(z.RepX, z.RepY); got != 0 {
+				t.Fatalf("origin zone representative misclassified as %d", got)
+			}
+		}
+	}
+}
+
+func TestASCIIArt(t *testing.T) {
+	m := buildMap(t, 41)
+	art := m.ASCIIArt(40, 20)
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 20 {
+		t.Fatalf("rows = %d, want 20", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 40 {
+			t.Fatalf("row width = %d, want 40", len(l))
+		}
+		if strings.Contains(l, "?") {
+			t.Fatal("unmapped zone glyph in art")
+		}
+	}
+	// Just inside the lower-left corner is the origin zone (glyph '0' by
+	// decimal order); the exact corner itself sits on curve 6's y = x
+	// boundary and is sign-degenerate.
+	if lines[19][2] != '0' {
+		t.Fatalf("origin-region glyph = %q, want '0'", lines[19][2])
+	}
+	// Degenerate sizes fall back to defaults.
+	if len(m.ASCIIArt(0, 0)) == 0 {
+		t.Fatal("fallback sizes failed")
+	}
+}
+
+func TestComponentsCountsRegions(t *testing.T) {
+	m := buildMap(t, 101)
+	comps := m.Components()
+	// Every discovered zone has at least one region and the total
+	// number of codes matches the inventory.
+	if len(comps) != m.NumZones() {
+		t.Fatalf("component codes = %d, zones = %d", len(comps), m.NumZones())
+	}
+	for code, n := range comps {
+		if n < 1 {
+			t.Fatalf("code %d has %d regions", code, n)
+		}
+	}
+	// The Table I partition should be overwhelmingly single-region.
+	multi := m.MultiRegionCodes()
+	if len(multi) > m.NumZones()/3 {
+		t.Fatalf("%d of %d codes are multi-region: %v", len(multi), m.NumZones(), multi)
+	}
+	// The origin zone is a single region.
+	if comps[0] != 1 {
+		t.Fatalf("origin zone split into %d regions", comps[0])
+	}
+}
