@@ -1,0 +1,29 @@
+# CI entry points. `make ci` is the gate: vet, build, and the race-tested
+# short suite. The short mode guard keeps internal/testbench's long
+# Monte-Carlo campaigns out of the race run; `make test` runs them all.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# Full suite, including the long Monte-Carlo campaigns.
+test:
+	$(GO) test ./...
+
+# Race-tested subset: -short skips the long campaigns so the ~10x race
+# overhead stays within CI budget while still exercising every
+# parallelized runner.
+race:
+	$(GO) test -race -short ./...
+
+# Paper-vs-measured benchmark table (one pass per artifact).
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

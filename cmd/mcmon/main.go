@@ -4,14 +4,19 @@
 //
 // Usage:
 //
-//	mcmon -monitor 3 -dies 500 -x 0.4
+//	mcmon -monitor 3 -dies 500 -x 0.4 -workers 4
+//
+// Dies fan out across the campaign worker pool (-workers 0 = all CPUs);
+// the output is bit-identical at any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
+	"repro/internal/campaign"
 	"repro/internal/monitor"
 	"repro/internal/mos"
 	"repro/internal/rng"
@@ -21,41 +26,57 @@ import (
 
 func main() {
 	var (
-		monIdx = flag.Int("monitor", 3, "Table I monitor number (1-6)")
-		dies   = flag.Int("dies", 500, "number of Monte Carlo dies")
-		x      = flag.Float64("x", 0.4, "x column for the spread histogram")
-		seed   = flag.Uint64("seed", 1, "Monte Carlo seed")
+		monIdx  = flag.Int("monitor", 3, "Table I monitor number (1-6)")
+		dies    = flag.Int("dies", 500, "number of Monte Carlo dies")
+		x       = flag.Float64("x", 0.4, "x column for the spread histogram")
+		seed    = flag.Uint64("seed", 1, "Monte Carlo seed")
+		workers = flag.Int("workers", 0, "worker pool size (0 = all CPUs)")
 	)
 	flag.Parse()
-	if err := run(*monIdx, *dies, *x, *seed); err != nil {
+	if err := run(*monIdx, *dies, *x, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "mcmon:", err)
 		os.Exit(1)
 	}
 }
 
-func run(monIdx, dies int, x float64, seed uint64) error {
+func run(monIdx, dies int, x float64, seed uint64, workers int) error {
 	if monIdx < 1 || monIdx > 6 {
 		return fmt.Errorf("monitor number %d out of 1-6", monIdx)
 	}
-	env, err := testbench.RunFig4MC(monIdx-1, dies, 21, seed)
+	env, err := testbench.RunFig4MCWorkers(monIdx-1, dies, 21, seed, workers)
 	if err != nil {
 		return err
 	}
 	fmt.Print(env.Render())
 
-	// Spread histogram at one column.
+	// Spread histogram at one column — the same per-die trial, fanned out
+	// on the campaign engine.
 	cfg := monitor.TableI()[monIdx-1]
 	a := monitor.MustAnalytic(cfg)
 	variation := mos.Default65nmVariation()
 	src := rng.New(seed + 1)
+	streams := make([]*rng.Stream, dies)
+	for d := range streams {
+		streams[d] = src.Split(uint64(d))
+	}
+	boundary, err := campaign.Run(campaign.Engine{Workers: workers}, dies,
+		func(d int) (float64, error) {
+			die := variation.SampleDie(streams[d])
+			devs := a.Devices()
+			for j := range devs {
+				devs[j] = die.Perturb(devs[j])
+			}
+			if y, ok := a.WithDevices(devs).BoundaryY(x, 0, 1); ok {
+				return y, nil
+			}
+			return math.NaN(), nil
+		})
+	if err != nil {
+		return err
+	}
 	var ys []float64
-	for d := 0; d < dies; d++ {
-		die := variation.SampleDie(src.Split(uint64(d)))
-		devs := a.Devices()
-		for j := range devs {
-			devs[j] = die.Perturb(devs[j])
-		}
-		if y, ok := a.WithDevices(devs).BoundaryY(x, 0, 1); ok {
+	for _, y := range boundary {
+		if !math.IsNaN(y) {
 			ys = append(ys, y)
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"runtime"
 
 	"repro/internal/monitor"
 	"repro/internal/testbench"
@@ -53,13 +54,21 @@ func main() {
 			x, ya, ys, math.Abs(ya-ys))
 	}
 
-	// Monte Carlo envelope (process corners + Pelgrom mismatch).
-	env, err := testbench.RunFig4MC(2, 300, 15, 7)
+	// Monte Carlo envelope (process corners + Pelgrom mismatch). The 300
+	// dies fan out across the campaign worker pool — all CPUs here, but
+	// any worker count (RunFig4MCWorkers) renders the identical envelope,
+	// because every die draws from its own index-derived random stream.
+	env, err := testbench.RunFig4MCWorkers(2, 300, 15, 7, runtime.NumCPU())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println()
+	fmt.Printf("\nMC envelope over 300 dies (%d workers):\n", runtime.NumCPU())
 	fmt.Print(env.Render())
+	serial, err := testbench.RunFig4MCWorkers(2, 300, 15, 7, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single-worker rerun identical: %v\n", serial.Render() == env.Render())
 
 	// Area accounting from the published layout numbers.
 	est := monitor.EstimateArea(cfg)

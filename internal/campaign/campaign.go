@@ -1,0 +1,119 @@
+// Package campaign is the shared parallel Monte-Carlo trial engine. Every
+// statistical study in the repository — the Fig. 4 process-variation
+// envelope, the noise detection and resolution sweeps, the component
+// fault campaign, the production yield simulation, the Fig. 8 deviation
+// sweep — is a batch of independent trials, and this package runs such a
+// batch across a bounded worker pool while keeping the results
+// bit-identical at any worker count.
+//
+// Determinism rests on three rules:
+//
+//   - each trial draws randomness only from its own substream, derived
+//     as a pure function of (root seed, trial index) via Engine.Stream
+//     (or pre-derived serially by the caller before fan-out);
+//   - results land in an indexed slot, so output order is the trial
+//     order regardless of completion order;
+//   - the first error is reported by trial index, not by wall-clock
+//     arrival.
+package campaign
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Engine configures a campaign run. The zero value is ready to use: all
+// CPUs and root seed 0.
+type Engine struct {
+	// Workers bounds the worker pool; <= 0 selects runtime.NumCPU().
+	// The pool never exceeds the trial count. Results do not depend on
+	// this value — it only sets the parallelism.
+	Workers int
+	// Seed is the root seed for Stream. Trials that pre-derive their own
+	// streams (to stay bit-compatible with an older serial seeding
+	// order) never consult it.
+	Seed uint64
+}
+
+// Stream returns trial i's private random substream — a pure function of
+// (Seed, i), so a trial may derive it concurrently from inside the pool.
+// Trials that need randomness call this; the engine itself never draws.
+func (e Engine) Stream(i int) *rng.Stream { return rng.NewSub(e.Seed, uint64(i)) }
+
+// poolSize resolves the effective worker count for n trials.
+func (e Engine) poolSize(n int) int {
+	w := e.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes n independent trials across the pool and returns their
+// results in trial order. A trial needing randomness derives its private
+// substream with e.Stream(i); it must not touch state shared with other
+// trials. On failure the error of the lowest-index failing trial is
+// returned.
+func Run[T any](e Engine, n int, trial func(i int) (T, error)) ([]T, error) {
+	return RunScratch(e, n,
+		func() struct{} { return struct{}{} },
+		func(i int, _ struct{}) (T, error) { return trial(i) })
+}
+
+// RunScratch is Run with per-worker scratch state: newScratch is called
+// once per worker and its value is threaded into every trial that worker
+// executes. Use it for reusable buffers (capture scratch, device slices)
+// so trial fan-out does not multiply allocations. Scratch must not affect
+// results — a trial reading stale scratch contents would break the
+// worker-count independence the engine guarantees.
+func RunScratch[T, S any](e Engine, n int, newScratch func() S, trial func(i int, scratch S) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	workers := e.poolSize(n)
+	if workers == 1 {
+		scratch := newScratch()
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = trial(i, scratch)
+		}
+		return collect(out, errs)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := newScratch()
+			for i := range next {
+				out[i], errs[i] = trial(i, scratch)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return collect(out, errs)
+}
+
+// collect returns the results, or the lowest-index trial error.
+func collect[T any](out []T, errs []error) ([]T, error) {
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

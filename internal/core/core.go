@@ -13,10 +13,10 @@ package core
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
 
 	"repro/internal/biquad"
+	"repro/internal/campaign"
 	"repro/internal/lissajous"
 	"repro/internal/monitor"
 	"repro/internal/ndf"
@@ -184,15 +184,17 @@ func (s *System) ExactSignature(p biquad.Params) (*signature.Signature, error) {
 // CapturedSignature runs the Fig. 5 clocked capture for a CUT,
 // optionally with measurement noise.
 func (s *System) CapturedSignature(p biquad.Params, sigma float64, noise *rng.Stream) (*signature.Signature, error) {
+	return s.capturedSignature(p, sigma, noise, nil)
+}
+
+// capturedSignature is CapturedSignature with reusable capture scratch
+// for Monte-Carlo trial loops (one buffer per campaign worker).
+func (s *System) capturedSignature(p biquad.Params, sigma float64, noise *rng.Stream, buf *signature.CaptureBuffer) (*signature.Signature, error) {
 	cls, err := s.Classifier(p, sigma, noise)
 	if err != nil {
 		return nil, err
 	}
-	sig, err := signature.Capture(cls, s.Period(), s.Capture)
-	if err != nil {
-		return nil, err
-	}
-	return sig.Canonical(), nil
+	return signature.CaptureCanonical(cls, s.Period(), s.Capture, buf)
 }
 
 // GoldenSignature returns the (cached) exact signature of the golden CUT.
@@ -224,47 +226,29 @@ func (s *System) NDFOfShift(shift float64) (float64, error) {
 	return s.NDFOfParams(s.Golden.WithF0Shift(shift))
 }
 
-// SweepF0 evaluates NDFOfShift over a deviation grid (the Fig. 8 sweep).
-// Points are independent and evaluated in parallel across
-// runtime.NumCPU() workers; the output order matches shifts and the
+// SweepF0 evaluates NDFOfShift over a deviation grid (the Fig. 8 sweep)
+// in parallel across all CPUs; the output order matches shifts and the
 // result is deterministic.
 func (s *System) SweepF0(shifts []float64) ([]float64, error) {
+	return s.SweepF0Workers(shifts, 0)
+}
+
+// SweepF0Workers is SweepF0 with an explicit worker-pool bound
+// (0 = all CPUs). The result is identical at any worker count.
+func (s *System) SweepF0Workers(shifts []float64, workers int) ([]float64, error) {
 	// The golden signature must be materialized before fan-out so the
 	// sync.Once does not serialize the workers.
 	if _, err := s.GoldenSignature(); err != nil {
 		return nil, err
 	}
-	out := make([]float64, len(shifts))
-	errs := make([]error, len(shifts))
-	workers := runtime.NumCPU()
-	if workers > len(shifts) {
-		workers = len(shifts)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i], errs[i] = s.NDFOfShift(shifts[i])
+	return campaign.Run(campaign.Engine{Workers: workers}, len(shifts),
+		func(i int) (float64, error) {
+			v, err := s.NDFOfShift(shifts[i])
+			if err != nil {
+				return 0, fmt.Errorf("core: sweep point %g: %w", shifts[i], err)
 			}
-		}()
-	}
-	for i := range shifts {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: sweep point %g: %w", shifts[i], err)
-		}
-	}
-	return out, nil
+			return v, nil
+		})
 }
 
 // AveragedNDF captures the CUT over several consecutive Lissajous
@@ -274,7 +258,17 @@ func (s *System) SweepF0(shifts []float64) ([]float64, error) {
 // ~1/√K, which is how a production tester makes small deviations (the
 // paper's 1% claim) separable from the floor without changing hardware —
 // it simply observes the CUT longer.
+// Each period is an independent capture: period k draws its noise from
+// the substream noise.Split(k), so the periods fan out across the
+// campaign pool and the average is deterministic at any worker count.
 func (s *System) AveragedNDF(p biquad.Params, sigma float64, noise *rng.Stream, periods int) (float64, error) {
+	return s.AveragedNDFWorkers(p, sigma, noise, periods, 0)
+}
+
+// AveragedNDFWorkers is AveragedNDF with an explicit worker-pool bound
+// (0 = all CPUs). Campaign runners that already fan trials out pass 1 so
+// the outer pool alone owns the parallelism.
+func (s *System) AveragedNDFWorkers(p biquad.Params, sigma float64, noise *rng.Stream, periods, workers int) (float64, error) {
 	if periods < 1 {
 		periods = 1
 	}
@@ -282,16 +276,28 @@ func (s *System) AveragedNDF(p biquad.Params, sigma float64, noise *rng.Stream, 
 	if err != nil {
 		return 0, err
 	}
+	// Split advances the caller's stream — derive the per-period streams
+	// serially before fan-out.
+	streams := make([]*rng.Stream, periods)
+	if noise != nil {
+		for k := range streams {
+			streams[k] = noise.Split(uint64(k))
+		}
+	}
+	vals, err := campaign.RunScratch(campaign.Engine{Workers: workers}, periods,
+		func() *signature.CaptureBuffer { return &signature.CaptureBuffer{} },
+		func(k int, buf *signature.CaptureBuffer) (float64, error) {
+			obs, err := s.capturedSignature(p, sigma, streams[k], buf)
+			if err != nil {
+				return 0, err
+			}
+			return ndf.NDF(obs, g)
+		})
+	if err != nil {
+		return 0, err
+	}
 	sum := 0.0
-	for k := 0; k < periods; k++ {
-		obs, err := s.CapturedSignature(p, sigma, noise)
-		if err != nil {
-			return 0, err
-		}
-		v, err := ndf.NDF(obs, g)
-		if err != nil {
-			return 0, err
-		}
+	for _, v := range vals {
 		sum += v
 	}
 	return sum / float64(periods), nil

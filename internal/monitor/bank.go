@@ -3,9 +3,8 @@ package monitor
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
+	"repro/internal/campaign"
 	"repro/internal/mos"
 	"repro/internal/rng"
 )
@@ -144,10 +143,16 @@ func (b *Bank) Perturbed(die *mos.Die) *Bank {
 // y values found (suitable for quantile envelopes). Columns with no
 // boundary crossing in a sample are skipped for that sample.
 //
-// Dies are evaluated in parallel across runtime.NumCPU() workers; each
-// die derives its own random stream from its index, so the result is
+// Dies are evaluated in parallel on the campaign engine; each die
+// derives its own random stream from its index, so the result is
 // bit-identical regardless of scheduling or worker count.
 func (b *Bank) MCEnvelope(mi int, variation mos.Variation, src *rng.Stream, nDies, nCols int) (xs []float64, ys [][]float64) {
+	return b.MCEnvelopeWorkers(mi, variation, src, nDies, nCols, 0)
+}
+
+// MCEnvelopeWorkers is MCEnvelope with an explicit worker-pool bound
+// (0 = all CPUs).
+func (b *Bank) MCEnvelopeWorkers(mi int, variation mos.Variation, src *rng.Stream, nDies, nCols, workers int) (xs []float64, ys [][]float64) {
 	a, ok := b.monitors[mi].(*Analytic)
 	if !ok {
 		panic("monitor: MCEnvelope requires an analytic monitor")
@@ -162,51 +167,31 @@ func (b *Bank) MCEnvelope(mi int, variation mos.Variation, src *rng.Stream, nDie
 	for d := range streams {
 		streams[d] = src.Split(uint64(d))
 	}
-	// Per-die results, merged in die order for determinism.
-	type dieResult struct {
-		ys []float64 // per column; NaN = no crossing
-	}
-	results := make([]dieResult, nDies)
-	var wg sync.WaitGroup
-	workers := runtime.NumCPU()
-	if workers > nDies {
-		workers = nDies
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for d := range next {
-				die := variation.SampleDie(streams[d])
-				devs := a.Devices()
-				for j := range devs {
-					devs[j] = die.Perturb(devs[j])
-				}
-				pm := a.WithDevices(devs)
-				col := make([]float64, nCols)
-				for i, x := range xs {
-					if y, ok := pm.BoundaryY(x, 0, 1); ok {
-						col[i] = y
-					} else {
-						col[i] = math.NaN()
-					}
-				}
-				results[d] = dieResult{ys: col}
+	// Per-die boundary columns (NaN = no crossing), in die order.
+	cols, err := campaign.Run(campaign.Engine{Workers: workers}, nDies,
+		func(d int) ([]float64, error) {
+			die := variation.SampleDie(streams[d])
+			devs := a.Devices()
+			for j := range devs {
+				devs[j] = die.Perturb(devs[j])
 			}
-		}()
+			pm := a.WithDevices(devs)
+			col := make([]float64, nCols)
+			for i, x := range xs {
+				if y, ok := pm.BoundaryY(x, 0, 1); ok {
+					col[i] = y
+				} else {
+					col[i] = math.NaN()
+				}
+			}
+			return col, nil
+		})
+	if err != nil {
+		panic(err) // trials are error-free by construction
 	}
-	for d := 0; d < nDies; d++ {
-		next <- d
-	}
-	close(next)
-	wg.Wait()
 	ys = make([][]float64, nCols)
-	for d := 0; d < nDies; d++ {
-		for i, y := range results[d].ys {
+	for _, col := range cols {
+		for i, y := range col {
 			if !math.IsNaN(y) {
 				ys[i] = append(ys[i], y)
 			}

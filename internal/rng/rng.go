@@ -12,6 +12,13 @@ import "math"
 
 // Stream is a deterministic pseudo-random stream. The zero value is not
 // usable; construct with New.
+//
+// A Stream is NOT safe for concurrent use: every draw mutates the
+// generator state, so two goroutines sharing one stream race and destroy
+// reproducibility. Give each goroutine its own stream — derived with
+// NewSub(root, id) from a pure (seed, index) pair, or with Split called
+// serially before fan-out. The campaign engine does exactly this for
+// Monte Carlo trials.
 type Stream struct {
 	s         [4]uint64
 	spare     float64
@@ -44,9 +51,23 @@ func New(seed uint64) *Stream {
 
 // Split derives a new independent stream from s, keyed by id. It is used
 // to give each Monte Carlo sample or each device its own stream without
-// coordinating seeds globally.
+// coordinating seeds globally. Split advances s, so the derived stream
+// depends on call order: call it serially (before any fan-out) when the
+// substreams feed parallel workers.
 func (s *Stream) Split(id uint64) *Stream {
 	return New(s.Uint64() ^ (id * 0x9e3779b97f4a7c15) ^ 0xd1b54a32d192ed03)
+}
+
+// NewSub returns the id-th substream of the root seed. Unlike Split it is
+// a pure function of (root, id) — it reads no shared state, so parallel
+// workers can derive their trial streams concurrently and the result is
+// independent of scheduling and worker count.
+func NewSub(root, id uint64) *Stream {
+	x := root
+	a := splitmix64(&x)
+	y := id ^ 0xd1b54a32d192ed03
+	b := splitmix64(&y)
+	return New(a ^ rotl(b, 17) ^ 0x9e3779b97f4a7c15)
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -55,6 +55,45 @@ func (c CaptureConfig) MaxCount() uint64 { return 1<<uint(c.CounterBits) - 1 }
 // Canonical() merge restores the total dwell, which is how the readout
 // software of such a monitor recovers long intervals.
 func Capture(classify Classifier, T float64, cfg CaptureConfig) (*Signature, error) {
+	entries, err := captureRaw(classify, T, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Signature{Period: T, Entries: entries}, nil
+}
+
+// CaptureBuffer holds reusable scratch for repeated captures, so a
+// Monte-Carlo trial loop does not re-allocate the raw entry sequence on
+// every period. One buffer per campaign worker; like rng.Stream it is
+// not safe for concurrent use.
+type CaptureBuffer struct {
+	raw []Entry
+}
+
+// CaptureCanonical is Capture followed by Canonical: the raw (wrap-split)
+// entry sequence accumulates in buf's scratch and only the merged
+// canonical signature — which the caller keeps — is freshly allocated.
+// A nil buf degrades to one-shot scratch. The result is bit-identical to
+// Capture(...).Canonical().
+func CaptureCanonical(classify Classifier, T float64, cfg CaptureConfig, buf *CaptureBuffer) (*Signature, error) {
+	var scratch []Entry
+	if buf != nil {
+		scratch = buf.raw[:0]
+	}
+	raw, err := captureRaw(classify, T, cfg, scratch)
+	if buf != nil && raw != nil {
+		buf.raw = raw
+	}
+	if err != nil {
+		return nil, err
+	}
+	return (&Signature{Period: T, Entries: raw}).Canonical(), nil
+}
+
+// captureRaw appends the raw clocked acquisition into scratch[:len] and
+// returns the filled slice (the Capture hardware model shared by Capture
+// and CaptureCanonical).
+func captureRaw(classify Classifier, T float64, cfg CaptureConfig, scratch []Entry) ([]Entry, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -71,7 +110,7 @@ func Capture(classify Classifier, T float64, cfg CaptureConfig) (*Signature, err
 	if stable < 1 {
 		stable = 1
 	}
-	sig := &Signature{Period: T}
+	entries := scratch
 	cur := classify(0)
 	var count uint64
 	var candidate monitor.Code
@@ -80,7 +119,7 @@ func Capture(classify Classifier, T float64, cfg CaptureConfig) (*Signature, err
 		if counts == 0 {
 			return
 		}
-		sig.Entries = append(sig.Entries, Entry{Code: code, Dur: float64(counts) * tick})
+		entries = append(entries, Entry{Code: code, Dur: float64(counts) * tick})
 	}
 	for k := 1; k < n; k++ {
 		t := float64(k) * tick
@@ -116,19 +155,19 @@ func Capture(classify Classifier, T float64, cfg CaptureConfig) (*Signature, err
 	emit(cur, count+1)
 	// Normalize total duration to exactly T (rounding of n·tick).
 	total := 0.0
-	for _, e := range sig.Entries {
+	for _, e := range entries {
 		total += e.Dur
 	}
 	if total > 0 && math.Abs(total-T) > 1e-12 {
 		scale := T / total
-		for i := range sig.Entries {
-			sig.Entries[i].Dur *= scale
+		for i := range entries {
+			entries[i].Dur *= scale
 		}
 	}
-	if len(sig.Entries) == 0 {
-		return nil, ErrEmpty
+	if len(entries) == 0 {
+		return entries, ErrEmpty
 	}
-	return sig, nil
+	return entries, nil
 }
 
 // Chronogram samples the signature's code at n uniform instants over the

@@ -1,0 +1,78 @@
+package testbench
+
+import (
+	"runtime"
+	"testing"
+)
+
+// The campaign engine's contract: every parallelized study renders
+// byte-identical output at workers=1 and workers=NumCPU (and any count
+// between). These are regression tests for the paper's reproducibility
+// claim — all figures and tables are bit-reproducible run to run.
+
+func workerCounts() []int {
+	n := runtime.NumCPU()
+	if n < 2 {
+		n = 8 // still exercises the concurrent pool path on one CPU
+	}
+	return []int{1, 2, n}
+}
+
+func TestSweepF0DeterministicAcrossWorkers(t *testing.T) {
+	devs := []float64{-0.10, -0.05, 0, 0.05, 0.10}
+	ref, err := sys().SweepF0Workers(devs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts()[1:] {
+		got, err := sys().SweepF0Workers(devs, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: NDF[%d] = %v, want %v", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestFig4MCDeterministicAcrossWorkers(t *testing.T) {
+	ref, err := RunFig4MCWorkers(2, 40, 15, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts()[1:] {
+		got, err := RunFig4MCWorkers(2, 40, 15, 7, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Render() != ref.Render() {
+			t.Fatalf("workers=%d: Render differs from workers=1", w)
+		}
+		if got.CSV() != ref.CSV() {
+			t.Fatalf("workers=%d: CSV differs from workers=1", w)
+		}
+	}
+}
+
+func TestNoiseSweepDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("noise campaign too slow for -short")
+	}
+	sigmas := []float64{0.005}
+	grid := []float64{0.01, 0.02}
+	ref, err := RunNoiseSweepWorkers(sys(), sigmas, grid, 4, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts()[1:] {
+		got, err := RunNoiseSweepWorkers(sys(), sigmas, grid, 4, 7, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Render() != ref.Render() {
+			t.Fatalf("workers=%d: Render differs from workers=1", w)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/biquad"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/ndf"
 )
@@ -92,31 +93,37 @@ func DefaultFaultSet() []biquad.Fault {
 }
 
 // RunFaultTable injects every fault into the golden Tow-Thomas design
-// and tests the faulty circuit with the given decision threshold.
+// and tests the faulty circuit with the given decision threshold. The
+// fault injections are independent and fan out across the campaign pool;
+// the table rows stay in fault order.
 func RunFaultTable(sys *core.System, dec ndf.Decision, faults []biquad.Fault) (*FaultTable, error) {
 	golden, err := biquad.DesignTowThomas(sys.Golden, 1e-9)
 	if err != nil {
 		return nil, err
 	}
-	out := &FaultTable{Threshold: dec.Threshold}
-	for _, f := range faults {
-		comps := f.Apply(golden)
-		p, err := comps.Params()
-		if err != nil {
-			return nil, fmt.Errorf("testbench: fault %s: %w", f, err)
-		}
-		v, err := sys.NDFOfParams(p)
-		if err != nil {
-			return nil, fmt.Errorf("testbench: fault %s: %w", f, err)
-		}
-		out.Cases = append(out.Cases, FaultCase{
-			Fault:    f,
-			Params:   p,
-			NDF:      v,
-			Detected: !dec.Pass(v),
-		})
+	// Materialize the golden signature before fan-out so the sync.Once
+	// does not serialize the workers.
+	if _, err := sys.GoldenSignature(); err != nil {
+		return nil, err
 	}
-	return out, nil
+	cases, err := campaign.Run(campaign.Engine{}, len(faults),
+		func(i int) (FaultCase, error) {
+			f := faults[i]
+			comps := f.Apply(golden)
+			p, err := comps.Params()
+			if err != nil {
+				return FaultCase{}, fmt.Errorf("testbench: fault %s: %w", f, err)
+			}
+			v, err := sys.NDFOfParams(p)
+			if err != nil {
+				return FaultCase{}, fmt.Errorf("testbench: fault %s: %w", f, err)
+			}
+			return FaultCase{Fault: f, Params: p, NDF: v, Detected: !dec.Pass(v)}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &FaultTable{Threshold: dec.Threshold, Cases: cases}, nil
 }
 
 // Coverage returns the fraction of faults detected.

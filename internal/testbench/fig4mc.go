@@ -22,14 +22,24 @@ type Fig4MC struct {
 	Cols        []int // indices into Xs that had MC crossings
 }
 
-// RunFig4MC builds the envelope for Table I monitor index mi (0-based).
+// RunFig4MC builds the envelope for Table I monitor index mi (0-based),
+// fanning the dies out across all CPUs.
 func RunFig4MC(mi int, nDies, nCols int, seed uint64) (*Fig4MC, error) {
+	return RunFig4MCWorkers(mi, nDies, nCols, seed, 0)
+}
+
+// RunFig4MCWorkers is RunFig4MC with an explicit worker-pool bound
+// (0 = all CPUs); the envelope is bit-identical at any worker count.
+func RunFig4MCWorkers(mi int, nDies, nCols int, seed uint64, workers int) (*Fig4MC, error) {
 	cfgs := monitor.TableI()
 	if mi < 0 || mi >= len(cfgs) {
 		return nil, fmt.Errorf("testbench: monitor index %d out of range", mi)
 	}
+	if nDies < 1 || nCols < 2 {
+		return nil, fmt.Errorf("testbench: need at least 1 die and 2 columns, got %d/%d", nDies, nCols)
+	}
 	bank := monitor.NewAnalyticTableI()
-	xs, ys := bank.MCEnvelope(mi, mos.Default65nmVariation(), rng.New(seed), nDies, nCols)
+	xs, ys := bank.MCEnvelopeWorkers(mi, mos.Default65nmVariation(), rng.New(seed), nDies, nCols, workers)
 	nominal := monitor.MustAnalytic(cfgs[mi])
 	out := &Fig4MC{MonitorName: cfgs[mi].Name}
 	for i, x := range xs {

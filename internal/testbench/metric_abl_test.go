@@ -62,6 +62,9 @@ func TestStimOptImprovesOrKeepsSensitivity(t *testing.T) {
 }
 
 func TestNoiseDistributionsStatisticallyDistinct(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long Monte-Carlo campaign, skipped under -short")
+	}
 	// KS test: under the paper's noise, the null and 2%-deviation NDF
 	// distributions are significantly different.
 	s := sys()

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/baseline"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/monitor"
 	"repro/internal/ndf"
@@ -29,19 +30,28 @@ type Noise struct {
 // deviations with trials captures each. Every measurement averages the
 // NDF over 5 consecutive Lissajous periods (1 ms of observation), the
 // variance-reduction step that makes the paper's 1% claim reachable.
+// The Monte-Carlo trials fan out across the campaign pool; per-trial
+// streams are derived serially from the seed, so the detection rates are
+// bit-identical at any worker count.
 func RunNoiseDetection(sys *core.System, sigma float64, devs []float64, nullTrials, trials int, seed uint64) (*Noise, error) {
 	const periods = 5
 	src := rng.New(seed)
-	ndfOf := func(shift float64, stream *rng.Stream) (float64, error) {
-		return sys.AveragedNDF(sys.Golden.WithF0Shift(shift), sigma, stream, periods)
-	}
-	nulls := make([]float64, nullTrials)
-	for i := range nulls {
-		v, err := ndfOf(0, src.Split(uint64(i)))
-		if err != nil {
-			return nil, err
+	eng := campaign.Engine{}
+	// measure runs one batch of averaged-NDF trials at a deviation, using
+	// streams pre-derived (serially) with the given base offset.
+	measure := func(shift float64, n int, base uint64) ([]float64, error) {
+		streams := make([]*rng.Stream, n)
+		for i := range streams {
+			streams[i] = src.Split(base + uint64(i))
 		}
-		nulls[i] = v
+		return campaign.Run(eng, n, func(i int) (float64, error) {
+			// The outer pool owns the parallelism: periods run serially.
+			return sys.AveragedNDFWorkers(sys.Golden.WithF0Shift(shift), sigma, streams[i], periods, 1)
+		})
+	}
+	nulls, err := measure(0, nullTrials, 0)
+	if err != nil {
+		return nil, err
 	}
 	dec, err := ndf.ThresholdFromNull(nulls, 1.0)
 	if err != nil {
@@ -49,24 +59,24 @@ func RunNoiseDetection(sys *core.System, sigma float64, devs []float64, nullTria
 	}
 	out := &Noise{Sigma: sigma, Periods: periods, Threshold: dec.Threshold, Devs: devs}
 	// Fresh nulls for the false-alarm estimate.
+	fresh, err := measure(0, trials, uint64(1e6))
+	if err != nil {
+		return nil, err
+	}
 	fp := 0
-	for i := 0; i < trials; i++ {
-		v, err := ndfOf(0, src.Split(uint64(1e6)+uint64(i)))
-		if err != nil {
-			return nil, err
-		}
+	for _, v := range fresh {
 		if !dec.Pass(v) {
 			fp++
 		}
 	}
 	out.FalseRate = float64(fp) / float64(trials)
 	for di, d := range devs {
+		vals, err := measure(d, trials, uint64(2e6)+uint64(di*trials))
+		if err != nil {
+			return nil, err
+		}
 		det := 0
-		for i := 0; i < trials; i++ {
-			v, err := ndfOf(d, src.Split(uint64(2e6)+uint64(di*trials+i)))
-			if err != nil {
-				return nil, err
-			}
+		for _, v := range vals {
 			if !dec.Pass(v) {
 				det++
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/ndf"
 	"repro/internal/rng"
@@ -20,22 +21,37 @@ type NoiseSweep struct {
 }
 
 // RunNoiseSweep probes the deviation grid (ascending, positive) at every
-// noise sigma.
+// noise sigma, fanning the Monte-Carlo trials out across all CPUs.
 func RunNoiseSweep(sys *core.System, sigmas, devGrid []float64, trials int, seed uint64) (*NoiseSweep, error) {
+	return RunNoiseSweepWorkers(sys, sigmas, devGrid, trials, seed, 0)
+}
+
+// RunNoiseSweepWorkers is RunNoiseSweep with an explicit worker-pool
+// bound (0 = all CPUs). Trial streams are derived serially from the seed
+// before each fan-out, so the sweep is bit-identical at any worker count.
+func RunNoiseSweepWorkers(sys *core.System, sigmas, devGrid []float64, trials int, seed uint64, workers int) (*NoiseSweep, error) {
 	const periods = 3
 	out := &NoiseSweep{Sigmas: sigmas, Periods: periods}
 	src := rng.New(seed)
+	eng := campaign.Engine{Workers: workers}
 	for si, sigma := range sigmas {
-		ndfOf := func(shift float64, stream *rng.Stream) (float64, error) {
-			return sys.AveragedNDF(sys.Golden.WithF0Shift(shift), sigma, stream, periods)
+		sigma := sigma
+		// measure runs the averaged-NDF trials at one deviation; the
+		// per-trial streams are pre-derived serially so fan-out preserves
+		// the Split order.
+		measure := func(shift float64, streams []*rng.Stream) ([]float64, error) {
+			return campaign.Run(eng, len(streams), func(i int) (float64, error) {
+				// The outer pool owns the parallelism: periods run serially.
+				return sys.AveragedNDFWorkers(sys.Golden.WithF0Shift(shift), sigma, streams[i], periods, 1)
+			})
 		}
-		nulls := make([]float64, trials)
-		for i := range nulls {
-			v, err := ndfOf(0, src.Split(uint64(si*100000+i)))
-			if err != nil {
-				return nil, err
-			}
-			nulls[i] = v
+		streams := make([]*rng.Stream, trials)
+		for i := range streams {
+			streams[i] = src.Split(uint64(si*100000 + i))
+		}
+		nulls, err := measure(0, streams)
+		if err != nil {
+			return nil, err
 		}
 		dec, err := ndf.ThresholdFromNull(nulls, 1.0)
 		if err != nil {
@@ -43,12 +59,15 @@ func RunNoiseSweep(sys *core.System, sigmas, devGrid []float64, trials int, seed
 		}
 		minDet := 1.0
 		for di, d := range devGrid {
+			for i := range streams {
+				streams[i] = src.Split(uint64(si*100000 + (di+1)*1000 + i))
+			}
+			vals, err := measure(d, streams)
+			if err != nil {
+				return nil, err
+			}
 			det := 0
-			for i := 0; i < trials; i++ {
-				v, err := ndfOf(d, src.Split(uint64(si*100000+(di+1)*1000+i)))
-				if err != nil {
-					return nil, err
-				}
+			for _, v := range vals {
 				if !dec.Pass(v) {
 					det++
 				}

@@ -69,6 +69,9 @@ func TestAblSpectral(t *testing.T) {
 }
 
 func TestNoiseSweepResolutionDegrades(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long Monte-Carlo campaign, skipped under -short")
+	}
 	ns, err := RunNoiseSweep(sys(), []float64{0.002, 0.005, 0.02},
 		[]float64{0.005, 0.01, 0.02, 0.05}, 8, 7)
 	if err != nil {

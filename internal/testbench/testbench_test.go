@@ -190,6 +190,9 @@ func TestFig8(t *testing.T) {
 }
 
 func TestNoiseDetection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long Monte-Carlo campaign, skipped under -short")
+	}
 	// Small but meaningful: 1% must be detected at high rate with the
 	// paper's noise level; use modest trial counts to keep the test fast.
 	n, err := RunNoiseDetection(sys(), 0.005, []float64{0.01, 0.05}, 12, 12, 42)

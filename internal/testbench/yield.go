@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/biquad"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/ndf"
 	"repro/internal/rng"
@@ -60,46 +61,63 @@ func CalibrateMultiParam(sys *core.System, tol float64) (ndf.Decision, error) {
 }
 
 // RunYield draws n CUTs with component sigma, tests each against the
-// decision, and scores against the spec.
+// decision, and scores against the spec. The CUTs are independent dies
+// and fan out across the campaign pool; per-die streams are derived
+// serially from the seed, so the scores are bit-identical at any worker
+// count.
 func RunYield(sys *core.System, dec ndf.Decision, n int, componentSigma, tol float64, seed uint64) (*Yield, error) {
 	golden, err := biquad.DesignTowThomas(sys.Golden, 1e-9)
 	if err != nil {
 		return nil, err
 	}
+	if _, err := sys.GoldenSignature(); err != nil {
+		return nil, err
+	}
 	src := rng.New(seed)
+	streams := make([]*rng.Stream, n)
+	for i := range streams {
+		streams[i] = src.Split(uint64(i))
+	}
+	type verdict struct{ truthGood, pass bool }
+	verdicts, err := campaign.Run(campaign.Engine{}, n,
+		func(i int) (verdict, error) {
+			s := streams[i]
+			comps := golden
+			comps.R *= 1 + s.Gauss(0, componentSigma)
+			comps.RQ *= 1 + s.Gauss(0, componentSigma)
+			comps.RG *= 1 + s.Gauss(0, componentSigma)
+			comps.C *= 1 + s.Gauss(0, componentSigma)
+			p, err := comps.Params()
+			if err != nil {
+				return verdict{}, err
+			}
+			inBand := func(val, nom, frac float64) bool {
+				return val >= nom*(1-frac) && val <= nom*(1+frac)
+			}
+			truthGood := inBand(p.F0, sys.Golden.F0, tol) &&
+				inBand(p.Q, sys.Golden.Q, 2*tol) &&
+				inBand(p.Gain, sys.Golden.Gain, tol)
+			v, err := sys.NDFOfParams(p)
+			if err != nil {
+				return verdict{}, err
+			}
+			return verdict{truthGood: truthGood, pass: dec.Pass(v)}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	out := &Yield{N: n, ComponentSigma: componentSigma, Tolerance: tol, Threshold: dec.Threshold}
-	for i := 0; i < n; i++ {
-		s := src.Split(uint64(i))
-		comps := golden
-		comps.R *= 1 + s.Gauss(0, componentSigma)
-		comps.RQ *= 1 + s.Gauss(0, componentSigma)
-		comps.RG *= 1 + s.Gauss(0, componentSigma)
-		comps.C *= 1 + s.Gauss(0, componentSigma)
-		p, err := comps.Params()
-		if err != nil {
-			return nil, err
-		}
-		inBand := func(val, nom, frac float64) bool {
-			return val >= nom*(1-frac) && val <= nom*(1+frac)
-		}
-		truthGood := inBand(p.F0, sys.Golden.F0, tol) &&
-			inBand(p.Q, sys.Golden.Q, 2*tol) &&
-			inBand(p.Gain, sys.Golden.Gain, tol)
-		v, err := sys.NDFOfParams(p)
-		if err != nil {
-			return nil, err
-		}
-		pass := dec.Pass(v)
-		if truthGood {
+	for _, v := range verdicts {
+		if v.truthGood {
 			out.TrueGood++
 		}
-		if pass {
+		if v.pass {
 			out.PassCount++
 		}
 		switch {
-		case pass && !truthGood:
+		case v.pass && !v.truthGood:
 			out.Escapes++
-		case !pass && truthGood:
+		case !v.pass && v.truthGood:
 			out.Overkill++
 		}
 	}

@@ -9,6 +9,9 @@ import (
 )
 
 func TestYieldSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long Monte-Carlo campaign, skipped under -short")
+	}
 	s := sys()
 	dec, err := CalibrateMultiParam(s, 0.05)
 	if err != nil {
@@ -46,6 +49,9 @@ func TestYieldSimulation(t *testing.T) {
 }
 
 func TestYieldThresholdTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long Monte-Carlo campaign, skipped under -short")
+	}
 	// Loosening the threshold must not decrease yield, and must not
 	// decrease escapes; tightening trades the other way. This is the
 	// Fig. 8 band picture expressed in production terms.
@@ -108,6 +114,9 @@ func TestSelfTestDetectsStuckMonitors(t *testing.T) {
 }
 
 func TestWriteReportContainsAllArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long Monte-Carlo campaign, skipped under -short")
+	}
 	var buf bytes.Buffer
 	if err := WriteReport(&buf, sys()); err != nil {
 		t.Fatal(err)
