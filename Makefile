@@ -1,12 +1,20 @@
-# CI entry points. `make ci` is the gate: vet, build, and the race-tested
-# short suite. The short mode guard keeps internal/testbench's long
-# Monte-Carlo campaigns out of the race run; `make test` runs them all.
+# CI entry points. `make ci` is the gate: format check, vet, build, the
+# race-tested short suite, and a one-iteration benchmark smoke pass over
+# the transient/campaign benchmarks (catches perf-path regressions that
+# only show up when the solver actually runs). `make test` runs the full
+# suite including the long Monte-Carlo campaigns.
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: ci vet build test race bench
+.PHONY: ci fmt vet build test race bench bench-smoke
 
-ci: vet build race
+ci: fmt vet build race bench-smoke
+
+# gofmt gate: fail with the offending file list when any file is unformatted.
+fmt:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -27,3 +35,9 @@ race:
 # Paper-vs-measured benchmark table (one pass per artifact).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Smoke gate: single-iteration run of the SPICE transient and
+# SPICE-campaign benchmarks (fast path, Newton baseline, CUT output,
+# fault table) — proves the hot paths still execute end to end.
+bench-smoke:
+	$(GO) test -bench='TransientTowThomas|SpiceCUT|FaultTableSpice' -benchtime=1x -run=^$$ .

@@ -8,11 +8,13 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/biquad"
 	"repro/internal/core"
 	"repro/internal/monitor"
 	"repro/internal/ndf"
 	"repro/internal/rng"
 	"repro/internal/signature"
+	"repro/internal/spice"
 	"repro/internal/testbench"
 	"repro/internal/zone"
 )
@@ -305,7 +307,11 @@ func BenchmarkNoiseResolutionSweep(b *testing.B) {
 
 func BenchmarkSignatureCapture(b *testing.B) {
 	sys := core.Default()
-	cls, err := sys.Classifier(sys.Golden.WithF0Shift(0.10), 0, nil)
+	cut, err := sys.Shifted(0.10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cls, err := sys.Classifier(cut, 0, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -319,9 +325,12 @@ func BenchmarkSignatureCapture(b *testing.B) {
 
 func BenchmarkExactSignature(b *testing.B) {
 	sys := core.Default()
-	p := sys.Golden.WithF0Shift(0.10)
+	cut, err := sys.Shifted(0.10)
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.ExactSignature(p); err != nil {
+		if _, err := sys.ExactSignature(cut); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -333,7 +342,11 @@ func BenchmarkNDFExact(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	d, err := sys.ExactSignature(sys.Golden.WithF0Shift(0.10))
+	cut, err := sys.Shifted(0.10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := sys.ExactSignature(cut)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -404,6 +417,91 @@ func BenchmarkExtensionCorners(b *testing.B) {
 		ss = cd.NDFs[1]
 	}
 	b.ReportMetric(ss, "NDF@SS")
+}
+
+// TRANSIENT-LIN: the linear fast path of the SPICE transient engine on
+// the Tow-Thomas netlist (one LU factorization, one solve per step).
+func BenchmarkTransientTowThomasLinear(b *testing.B) {
+	benchmarkTransientTowThomas(b, false)
+}
+
+// TRANSIENT-NEWTON: the same transient with the per-step Newton loop
+// forced (the pre-fast-path baseline). The Linear benchmark must be ≥5×
+// faster than this one.
+func BenchmarkTransientTowThomasNewton(b *testing.B) {
+	benchmarkTransientTowThomas(b, true)
+}
+
+func benchmarkTransientTowThomas(b *testing.B, forceNewton bool) {
+	comps, err := biquad.DesignTowThomas(biquad.Params{F0: 10e3, Q: 0.9, Gain: 1}, 1e-9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stim := core.Default().Stimulus
+	ws := spice.NewWorkspace()
+	var last float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ckt, nodes, err := comps.Netlist()
+		if err != nil {
+			b.Fatal(err)
+		}
+		vin, ok := ckt.FindElement("VIN").(*spice.VSource)
+		if !ok {
+			b.Fatal("netlist has no VIN source")
+		}
+		vin.SetWaveform(stim)
+		ts := spice.NewTransientSolverWS(ckt, spice.Options{Trapezoid: true, ForceNewton: forceNewton}, ws)
+		lp := ckt.Node(nodes.LP)
+		err = ts.Run(stim.Period(), 2048, func(k int, t float64, sol *spice.Solution) {
+			last = sol.VoltageAt(lp)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(last, "v_lp_final")
+}
+
+// CUT-SPICE: one full SPICE-backend output materialization (settling +
+// capture period) — the per-trial unit of a SPICE-backed campaign.
+func BenchmarkSpiceCUTOutput(b *testing.B) {
+	sys, err := core.DefaultSpice()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		cut, err := sys.Shifted(0.10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cut.Output(sys.Stimulus, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// CAMPAIGN-SPICE: the reduced fault-table campaign on the SPICE backend
+// (the cmd/mcmon -backend=spice path).
+func BenchmarkFaultTableSpice(b *testing.B) {
+	sys, err := core.DefaultSpice()
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := []biquad.Fault{
+		{Kind: biquad.FaultParametric, Target: biquad.TargetR, Frac: 0.10},
+		{Kind: biquad.FaultOpen, Target: biquad.TargetRQ},
+		{Kind: biquad.FaultShort, Target: biquad.TargetC},
+	}
+	var coverage float64
+	for i := 0; i < b.N; i++ {
+		tab, err := testbench.RunFaultTable(sys, ndf.Decision{Threshold: 0.02}, faults)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coverage = tab.Coverage()
+	}
+	b.ReportMetric(coverage, "coverage")
 }
 
 // EXT-BIST: stuck-at monitor faults detected by the golden comparison.

@@ -1,13 +1,20 @@
-// Command mcmon studies the monitor under process variation: it traces
-// one Table I boundary across Monte Carlo dies, prints the 95% envelope,
-// and shows the spread histogram of the boundary position at a chosen x.
+// Command mcmon runs the repository's Monte-Carlo studies.
 //
-// Usage:
+// Without -backend it studies the monitor under process variation: it
+// traces one Table I boundary across Monte Carlo dies, prints the 95%
+// envelope, and shows the spread histogram of the boundary position at a
+// chosen x.
+//
+// With -backend it runs the component-level fault-table campaign on the
+// selected CUT backend — the analytic Tow-Thomas model or the SPICE
+// netlist engine — calibrating the acceptance threshold first:
 //
 //	mcmon -monitor 3 -dies 500 -x 0.4 -workers 4
+//	mcmon -backend=spice          # reduced fault campaign on the netlist engine
+//	mcmon -backend=analytic -tol 0.05
 //
-// Dies fan out across the campaign worker pool (-workers 0 = all CPUs);
-// the output is bit-identical at any worker count.
+// Dies and faults fan out across the campaign worker pool (-workers 0 =
+// all CPUs); the output is bit-identical at any worker count.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"os"
 
 	"repro/internal/campaign"
+	"repro/internal/core"
 	"repro/internal/monitor"
 	"repro/internal/mos"
 	"repro/internal/rng"
@@ -31,12 +39,49 @@ func main() {
 		x       = flag.Float64("x", 0.4, "x column for the spread histogram")
 		seed    = flag.Uint64("seed", 1, "Monte Carlo seed")
 		workers = flag.Int("workers", 0, "worker pool size (0 = all CPUs)")
+		backend = flag.String("backend", "", "run the fault-table campaign on a CUT backend: analytic or spice")
+		tol     = flag.Float64("tol", 0.05, "calibration tolerance for the fault campaign")
 	)
 	flag.Parse()
-	if err := run(*monIdx, *dies, *x, *seed, *workers); err != nil {
+	var err error
+	if *backend != "" {
+		// The fault campaign ignores the monitor-study knobs; reject the
+		// conflicting combination instead of silently dropping them.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "monitor", "dies", "x", "seed":
+				err = fmt.Errorf("-%s applies to the monitor study and conflicts with -backend", f.Name)
+			}
+		})
+		if err == nil {
+			err = runFaults(*backend, *tol, *workers)
+		}
+	} else {
+		err = run(*monIdx, *dies, *x, *seed, *workers)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcmon:", err)
 		os.Exit(1)
 	}
+}
+
+// runFaults runs the component fault campaign on the chosen CUT backend.
+func runFaults(backend string, tol float64, workers int) error {
+	sys, err := core.SystemForBackend(backend)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("CUT backend: %s\n", sys.CUT.Describe())
+	dec, err := sys.CalibrateFromTolerance(tol, 9)
+	if err != nil {
+		return err
+	}
+	tab, err := testbench.RunFaultTableWorkers(sys, dec, testbench.DefaultFaultSet(), workers)
+	if err != nil {
+		return err
+	}
+	fmt.Print(tab.Render())
+	return nil
 }
 
 func run(monIdx, dies int, x float64, seed uint64, workers int) error {

@@ -9,6 +9,7 @@
 //	sigcap -shift 0.05 -noise 0.005 -clock 10e6 -bits 16 -out sig.bin
 //	sigcap -in sig.bin              # re-score a stored signature
 //	sigcap -shift 0.10 -json out.json
+//	sigcap -shift 0.10 -backend spice   # capture from the SPICE netlist engine
 package main
 
 import (
@@ -33,16 +34,20 @@ func main() {
 		out     = flag.String("out", "", "write the binary signature to this file")
 		jsonOut = flag.String("json", "", "write the JSON signature to this file")
 		in      = flag.String("in", "", "score a stored binary signature instead of capturing")
+		backend = flag.String("backend", "analytic", "CUT backend: analytic or spice")
 	)
 	flag.Parse()
-	if err := run(*shift, *sigma, *clock, *bits, *seed, *out, *jsonOut, *in); err != nil {
+	if err := run(*shift, *sigma, *clock, *bits, *seed, *out, *jsonOut, *in, *backend); err != nil {
 		fmt.Fprintln(os.Stderr, "sigcap:", err)
 		os.Exit(1)
 	}
 }
 
-func run(shift, sigma, clock float64, bits int, seed uint64, out, jsonOut, in string) error {
-	sys := core.Default()
+func run(shift, sigma, clock float64, bits int, seed uint64, out, jsonOut, in, backend string) error {
+	sys, err := core.SystemForBackend(backend)
+	if err != nil {
+		return err
+	}
 	sys.Capture = signature.CaptureConfig{ClockHz: clock, CounterBits: bits}
 	var sig *signature.Signature
 	if in != "" {
@@ -63,8 +68,11 @@ func run(shift, sigma, clock float64, bits int, seed uint64, out, jsonOut, in st
 		if sigma > 0 {
 			noise = rng.New(seed)
 		}
-		var err error
-		sig, err = sys.CapturedSignature(sys.Golden.WithF0Shift(shift), sigma, noise)
+		cut, err := sys.Shifted(shift)
+		if err != nil {
+			return err
+		}
+		sig, err = sys.CapturedSignature(cut, sigma, noise)
 		if err != nil {
 			return err
 		}

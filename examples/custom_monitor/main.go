@@ -29,9 +29,16 @@ func main() {
 		log.Fatal(err)
 	}
 	golden := biquad.Params{F0: 12e3, Q: 2.0, Gain: 0.5}
+	cut, err := biquad.NewAnalyticCUT(golden)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Probe where this CUT's Lissajous lives.
-	f := biquad.MustNew(golden)
+	f, err := biquad.New(golden)
+	if err != nil {
+		log.Fatal(err)
+	}
 	out := f.SteadyState(stim)
 	curveLo, curveHi := out.PeakToPeak()
 	fmt.Printf("custom CUT: f0 %.0f Hz Q %.1f gain %.1f, output swings [%.2f, %.2f] V\n",
@@ -77,11 +84,11 @@ func main() {
 
 	// Compare sensitivity for this CUT: custom bank vs stock Table I.
 	cap := core.Default().Capture
-	customSys, err := core.NewSystem(stim, golden, customBank, cap)
+	customSys, err := core.NewSystem(stim, cut, customBank, cap)
 	if err != nil {
 		log.Fatal(err)
 	}
-	stockSys, err := core.NewSystem(stim, golden, monitor.NewAnalyticTableI(), cap)
+	stockSys, err := core.NewSystem(stim, cut, monitor.NewAnalyticTableI(), cap)
 	if err != nil {
 		log.Fatal(err)
 	}

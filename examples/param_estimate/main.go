@@ -22,11 +22,29 @@ import (
 
 func main() {
 	lpSys := core.Default()
-	bpSys, err := core.NewSystem(lpSys.Stimulus, lpSys.Golden, lpSys.Bank, lpSys.Capture)
+	bpSys, err := core.NewSystem(lpSys.Stimulus, lpSys.CUT, lpSys.Bank, lpSys.Capture)
 	if err != nil {
 		log.Fatal(err)
 	}
 	bpSys.Observe = core.ObserveBP
+
+	// sigPair derives the deviated CUT once and captures both
+	// observations of it.
+	sigPair := func(df, dq float64) (*signature.Signature, *signature.Signature) {
+		cut, err := lpSys.Deviated(core.Deviation{F0Shift: df, QShift: dq})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sl, err := lpSys.ExactSignature(cut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sb, err := bpSys.ExactSignature(cut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sl, sb
+	}
 
 	// Training grid: f0 and Q deviations on a 5x5 lattice.
 	devGrid := []float64{-0.10, -0.05, 0, 0.05, 0.10}
@@ -34,17 +52,7 @@ func main() {
 	var f0Labels, qLabels []float64
 	for _, df := range devGrid {
 		for _, dq := range devGrid {
-			p := lpSys.Golden
-			p.F0 *= 1 + df
-			p.Q *= 1 + dq
-			sl, err := lpSys.ExactSignature(p)
-			if err != nil {
-				log.Fatal(err)
-			}
-			sb, err := bpSys.ExactSignature(p)
-			if err != nil {
-				log.Fatal(err)
-			}
+			sl, sb := sigPair(df, dq)
 			lpSigs = append(lpSigs, sl)
 			bpSigs = append(bpSigs, sb)
 			f0Labels = append(f0Labels, df)
@@ -86,17 +94,7 @@ func main() {
 	for _, tc := range [][2]float64{
 		{0.07, -0.03}, {-0.04, 0.08}, {0.02, 0.02}, {-0.08, -0.06}, {0.09, 0.04},
 	} {
-		p := lpSys.Golden
-		p.F0 *= 1 + tc[0]
-		p.Q *= 1 + tc[1]
-		sl, err := lpSys.ExactSignature(p)
-		if err != nil {
-			log.Fatal(err)
-		}
-		sb, err := bpSys.ExactSignature(p)
-		if err != nil {
-			log.Fatal(err)
-		}
+		sl, sb := sigPair(tc[0], tc[1])
 		x := featVec(sl, sb)
 		pf, pq := predict(betaF0, x), predict(betaQ, x)
 		fmt.Printf("  %+7.2f%%   %+7.2f%%  ->  %+7.2f%%   %+7.2f%%\n",

@@ -30,7 +30,11 @@ func main() {
 	// Test three CUTs: golden, a +3% marginal device, and the paper's
 	// +10% example.
 	for _, shift := range []float64{0, 0.03, 0.10} {
-		result, err := sys.Test(sys.Golden.WithF0Shift(shift), decision, 0, nil)
+		cut, err := sys.Shifted(shift)
+		if err != nil {
+			log.Fatal(err)
+		}
+		result, err := sys.Test(cut, decision, 0, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -43,7 +47,11 @@ func main() {
 
 	// Show the captured signature of the +10% CUT the way the paper
 	// writes it (Eq. 1).
-	sig, err := sys.CapturedSignature(sys.Golden.WithF0Shift(0.10), 0, nil)
+	deviated, err := sys.Shifted(0.10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sig, err := sys.CapturedSignature(deviated, 0, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -77,7 +77,7 @@ func TestLinearBankEndToEnd(t *testing.T) {
 		t.Fatalf("linear bank size = %d", lin.Size())
 	}
 	s := core.Default()
-	sys, err := core.NewSystem(s.Stimulus, s.Golden, lin, s.Capture)
+	sys, err := core.NewSystem(s.Stimulus, s.CUT, lin, s.Capture)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,11 @@ func trainSet(t *testing.T, devs []float64) []*signature.Signature {
 	s := core.Default()
 	sigs := make([]*signature.Signature, len(devs))
 	for i, d := range devs {
-		sig, err := s.ExactSignature(s.Golden.WithF0Shift(d))
+		cut, err := s.Shifted(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig, err := s.ExactSignature(cut)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -205,7 +209,7 @@ func TestRegressorValidation(t *testing.T) {
 		t.Fatal("empty training set accepted")
 	}
 	s := core.Default()
-	sig, _ := s.ExactSignature(s.Golden)
+	sig, _ := s.ExactSignature(s.CUT)
 	if _, err := TrainRegressor([]*signature.Signature{sig}, []float64{0, 1}); err == nil {
 		t.Fatal("mismatched labels accepted")
 	}
@@ -248,7 +252,7 @@ func TestLinearVsNonlinearSensitivity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	linSys, err := core.NewSystem(s.Stimulus, s.Golden, lin, s.Capture)
+	linSys, err := core.NewSystem(s.Stimulus, s.CUT, lin, s.Capture)
 	if err != nil {
 		t.Fatal(err)
 	}

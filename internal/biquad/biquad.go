@@ -64,15 +64,6 @@ func New(p Params) (*Filter, error) {
 	return &Filter{p: p, w0: 2 * math.Pi * p.F0}, nil
 }
 
-// MustNew is New that panics on invalid parameters.
-func MustNew(p Params) *Filter {
-	f, err := New(p)
-	if err != nil {
-		panic(err)
-	}
-	return f
-}
-
 // Params returns the filter parameters.
 func (f *Filter) Params() Params { return f.p }
 

@@ -8,8 +8,19 @@ import (
 	"repro/internal/wave"
 )
 
-func paperFilter() *Filter {
-	return MustNew(Params{F0: 10e3, Q: 0.9, Gain: 1})
+// mustFilter is the test-side replacement for the removed MustNew: the
+// library only exposes the error-returning constructor.
+func mustFilter(t *testing.T, p Params) *Filter {
+	t.Helper()
+	f, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func paperFilter(t *testing.T) *Filter {
+	return mustFilter(t, Params{F0: 10e3, Q: 0.9, Gain: 1})
 }
 
 func TestValidate(t *testing.T) {
@@ -27,7 +38,7 @@ func TestValidate(t *testing.T) {
 }
 
 func TestDCResponse(t *testing.T) {
-	f := paperFilter()
+	f := paperFilter(t)
 	if g := f.Magnitude(0); math.Abs(g-1) > 1e-12 {
 		t.Fatalf("|H(0)| = %v, want 1", g)
 	}
@@ -37,7 +48,7 @@ func TestDCResponse(t *testing.T) {
 }
 
 func TestResponseAtF0(t *testing.T) {
-	f := paperFilter()
+	f := paperFilter(t)
 	// At s = jω0 the denominator is jω0²/Q, so |H| = Q·Gain and the
 	// phase is -90°.
 	if g := f.Magnitude(10e3); math.Abs(g-0.9) > 1e-9 {
@@ -49,7 +60,7 @@ func TestResponseAtF0(t *testing.T) {
 }
 
 func TestHighFrequencyRolloff(t *testing.T) {
-	f := paperFilter()
+	f := paperFilter(t)
 	// Two decades above f0 the roll-off is -40 dB/dec: |H| ≈ (f0/f)².
 	g := f.Magnitude(1e6)
 	want := math.Pow(10e3/1e6, 2)
@@ -59,8 +70,8 @@ func TestHighFrequencyRolloff(t *testing.T) {
 }
 
 func TestF0ShiftScalesResponse(t *testing.T) {
-	f := paperFilter()
-	fShift := MustNew(f.Params().WithF0Shift(0.10))
+	f := paperFilter(t)
+	fShift := mustFilter(t, f.Params().WithF0Shift(0.10))
 	if math.Abs(fShift.Params().F0-11e3) > 1e-9 {
 		t.Fatalf("shifted F0 = %v, want 11 kHz", fShift.Params().F0)
 	}
@@ -80,7 +91,7 @@ func cmplxAbs(c complex128) float64 {
 
 func TestCutoffButterworthCase(t *testing.T) {
 	// Q = 1/sqrt2 (Butterworth): -3 dB point equals F0.
-	f := MustNew(Params{F0: 10e3, Q: 1 / math.Sqrt2, Gain: 1})
+	f := mustFilter(t, Params{F0: 10e3, Q: 1 / math.Sqrt2, Gain: 1})
 	if fc := f.CutoffMinus3dB(); math.Abs(fc-10e3) > 5 {
 		t.Fatalf("Butterworth cutoff = %v, want 10 kHz", fc)
 	}
@@ -97,7 +108,7 @@ func paperStimulus(t *testing.T) *wave.Multitone {
 }
 
 func TestSteadyStateMatchesResponse(t *testing.T) {
-	f := paperFilter()
+	f := paperFilter(t)
 	in := paperStimulus(t)
 	out := f.SteadyState(in)
 	if math.Abs(out.Offset-0.5) > 1e-12 {
@@ -115,7 +126,7 @@ func TestSteadyStateMatchesResponse(t *testing.T) {
 }
 
 func TestTransientConvergesToSteadyState(t *testing.T) {
-	f := paperFilter()
+	f := paperFilter(t)
 	in := paperStimulus(t)
 	ss := f.SteadyState(in)
 	period := in.Period()
@@ -138,7 +149,7 @@ func TestTransientConvergesToSteadyState(t *testing.T) {
 }
 
 func TestTransientStepDCGain(t *testing.T) {
-	f := MustNew(Params{F0: 1e3, Q: 0.7, Gain: 2.5})
+	f := mustFilter(t, Params{F0: 1e3, Q: 0.7, Gain: 2.5})
 	rec := f.Transient(wave.DC(1), 20e-3, 1e-6)
 	final := rec.V[len(rec.V)-1]
 	if math.Abs(final-2.5) > 1e-3 {
@@ -147,7 +158,7 @@ func TestTransientStepDCGain(t *testing.T) {
 }
 
 func TestSettlingPeriods(t *testing.T) {
-	f := paperFilter()
+	f := paperFilter(t)
 	n := f.SettlingPeriods(200e-6, 0.01)
 	if n < 1 || n > 20 {
 		t.Fatalf("settling periods = %d, implausible", n)
@@ -242,7 +253,10 @@ func TestRolloffMonotoneProperty(t *testing.T) {
 	prop := func(qRaw, f0Raw uint8) bool {
 		q := 0.5 + float64(qRaw)/255*1.5 // [0.5, 2]
 		f0 := 1e3 * (1 + float64(f0Raw)/255*99)
-		f := MustNew(Params{F0: f0, Q: q, Gain: 1})
+		f, err := New(Params{F0: f0, Q: q, Gain: 1})
+		if err != nil {
+			return false
+		}
 		prev := math.Inf(1)
 		for mult := 2.0; mult < 100; mult *= 1.5 {
 			g := f.Magnitude(f0 * mult)
@@ -261,7 +275,7 @@ func TestRolloffMonotoneProperty(t *testing.T) {
 // Property: steady-state output amplitude of any tone never exceeds
 // Gain·Q·input (resonant peak bound for Q >= 1/sqrt2) nor input·Gain·1.16.
 func TestSteadyStateBoundProperty(t *testing.T) {
-	f := paperFilter()
+	f := paperFilter(t)
 	prop := func(h uint8) bool {
 		harm := 1 + int(h%6)
 		in, err := wave.NewMultitone(0.5, 2e3, []int{harm}, []float64{0.1}, []float64{0})
@@ -278,7 +292,7 @@ func TestSteadyStateBoundProperty(t *testing.T) {
 }
 
 func TestBandpassResponse(t *testing.T) {
-	f := paperFilter()
+	f := paperFilter(t)
 	// |H_BP(f0)| = Gain = 1 by normalization; phase at f0 is 0.
 	if g := f.MagnitudeBP(10e3); math.Abs(g-1) > 1e-9 {
 		t.Fatalf("|H_BP(f0)| = %v, want 1", g)
@@ -297,7 +311,7 @@ func TestBandpassResponse(t *testing.T) {
 }
 
 func TestSteadyStateBP(t *testing.T) {
-	f := paperFilter()
+	f := paperFilter(t)
 	in := paperStimulus(t)
 	out := f.SteadyStateBP(in, 0.5)
 	if out.Offset != 0.5 {

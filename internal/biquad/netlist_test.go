@@ -36,7 +36,10 @@ func TestNetlistBuilds(t *testing.T) {
 
 func TestCircuitLPMatchesBehaviouralTF(t *testing.T) {
 	comps := paperComponents(t)
-	f := MustNew(Params{F0: 10e3, Q: 0.9, Gain: 1})
+	f, err := New(Params{F0: 10e3, Q: 0.9, Gain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	freqs := []float64{100, 1e3, 5e3, 10e3, 15e3, 30e3, 100e3}
 	mags, err := comps.CircuitResponse("lp", freqs)
 	if err != nil {
@@ -90,7 +93,10 @@ func TestCircuitTransientMatchesODE(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := MustNew(Params{F0: 10e3, Q: 0.9, Gain: 1})
+	f, err := New(Params{F0: 10e3, Q: 0.9, Gain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ode := f.Transient(stim, dur, dur/float64(steps))
 	// Compare the final 20% of both records (steady state), allowing a
 	// small tolerance for the different integrators.

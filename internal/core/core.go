@@ -3,11 +3,18 @@
 // monitor bank, asynchronous signature capture, and NDF-based decision —
 // into one System that examples, tools and benchmarks share.
 //
+// The circuit under test is pluggable: System is written against the
+// CUT backend interface, with two implementations — the closed-form
+// analytic Tow-Thomas model (biquad.AnalyticCUT) and the SPICE-transient
+// netlist engine (biquad.SpiceCUT) — so every campaign, sweep and CLI
+// runs on either.
+//
 // The zero-configuration entry point is Default(), which reproduces the
 // paper's experiment: a {5, 10, 15} kHz multitone around 0.5 V into a
 // low-pass Biquad (f0 = 10 kHz, Q = 0.9), observed by the six Table I
 // monitors, captured with a 10 MHz clock and 16-bit counter over the
-// 200 µs Lissajous period.
+// 200 µs Lissajous period. DefaultSpice() is the same system on the
+// SPICE backend.
 package core
 
 import (
@@ -24,6 +31,15 @@ import (
 	"repro/internal/signature"
 	"repro/internal/wave"
 )
+
+// CUT is the pluggable circuit-under-test backend every campaign is
+// parameterized over; see biquad.CUT for the contract and the two
+// shipped implementations (analytic model and SPICE netlist engine).
+type CUT = biquad.CUT
+
+// Deviation re-exports the perturbation description campaigns hand to
+// CUT.Perturb.
+type Deviation = biquad.Deviation
 
 // Observation selects which CUT output the monitor composes with the
 // stimulus. The paper observes the low-pass output; the band-pass
@@ -48,13 +64,24 @@ func (o Observation) String() string {
 	return "low-pass"
 }
 
-// System bundles the test setup. Create with Default or NewSystem and
-// treat as immutable afterwards; methods are safe for concurrent use.
+// output maps the observation onto the CUT backend's output selector.
+func (o Observation) output() biquad.Output {
+	if o == ObserveBP {
+		return biquad.OutputBP
+	}
+	return biquad.OutputLP
+}
+
+// System bundles the test setup. Create with Default, DefaultSpice or
+// NewSystem and treat as immutable afterwards; methods are safe for
+// concurrent use.
 type System struct {
 	Stimulus *wave.Multitone
-	Golden   biquad.Params
-	Bank     *monitor.Bank
-	Capture  signature.CaptureConfig
+	// CUT is the golden circuit-under-test backend; deviated and faulty
+	// devices are derived from it with Deviated/Shifted (CUT.Perturb).
+	CUT     CUT
+	Bank    *monitor.Bank
+	Capture signature.CaptureConfig
 	// ScanN is the scan resolution for exact signature extraction
 	// (samples per period before bisection refinement).
 	ScanN int
@@ -67,28 +94,69 @@ type System struct {
 	goldenErr  error
 }
 
-// Default returns the paper's reference system.
-func Default() *System {
+// goldenParams is the paper's reference CUT.
+var goldenParams = biquad.Params{F0: 10e3, Q: 0.9, Gain: 1}
+
+// defaultStimulus builds the paper's multitone.
+func defaultStimulus() *wave.Multitone {
 	stim, err := wave.NewMultitone(0.5, 5e3, []int{1, 2, 3},
 		[]float64{0.22, 0.13, 0.08}, []float64{0, 0, 0})
 	if err != nil {
 		panic(err) // static construction cannot fail
 	}
+	return stim
+}
+
+// Default returns the paper's reference system on the analytic backend.
+func Default() *System {
+	cut, err := biquad.NewAnalyticCUT(goldenParams)
+	if err != nil {
+		panic(err) // static construction cannot fail
+	}
 	return &System{
-		Stimulus: stim,
-		Golden:   biquad.Params{F0: 10e3, Q: 0.9, Gain: 1},
+		Stimulus: defaultStimulus(),
+		CUT:      cut,
 		Bank:     monitor.NewAnalyticTableI(),
 		Capture:  signature.DefaultCapture(),
 		ScanN:    8192,
 	}
 }
 
+// DefaultSpice returns the paper's reference system with the golden CUT
+// realized as a Tow-Thomas netlist simulated by the SPICE engine.
+func DefaultSpice() (*System, error) {
+	cut, err := biquad.NewSpiceCUTFromParams(goldenParams, biquad.SpiceConfig{})
+	if err != nil {
+		return nil, err
+	}
+	s := Default()
+	s.CUT = cut
+	return s, nil
+}
+
+// SystemForBackend returns the paper's reference system on the named
+// CUT backend ("analytic" or "spice") — the shared resolver behind the
+// CLIs' -backend flags.
+func SystemForBackend(name string) (*System, error) {
+	switch name {
+	case "analytic":
+		return Default(), nil
+	case "spice":
+		return DefaultSpice()
+	default:
+		return nil, fmt.Errorf("core: unknown CUT backend %q (want analytic or spice)", name)
+	}
+}
+
 // NewSystem builds a custom system, validating the pieces.
-func NewSystem(stim *wave.Multitone, golden biquad.Params, bank *monitor.Bank, cap signature.CaptureConfig) (*System, error) {
+func NewSystem(stim *wave.Multitone, cut CUT, bank *monitor.Bank, cap signature.CaptureConfig) (*System, error) {
 	if stim == nil || stim.Period() <= 0 {
 		return nil, fmt.Errorf("core: stimulus must be a periodic multitone")
 	}
-	if err := golden.Validate(); err != nil {
+	if cut == nil {
+		return nil, fmt.Errorf("core: CUT backend must not be nil")
+	}
+	if err := cut.Params().Validate(); err != nil {
 		return nil, err
 	}
 	if bank == nil || bank.Size() == 0 {
@@ -97,28 +165,33 @@ func NewSystem(stim *wave.Multitone, golden biquad.Params, bank *monitor.Bank, c
 	if err := cap.Validate(); err != nil {
 		return nil, err
 	}
-	return &System{Stimulus: stim, Golden: golden, Bank: bank, Capture: cap, ScanN: 8192}, nil
+	return &System{Stimulus: stim, CUT: cut, Bank: bank, Capture: cap, ScanN: 8192}, nil
+}
+
+// Golden returns the behavioural parameters of the golden CUT.
+func (s *System) Golden() biquad.Params { return s.CUT.Params() }
+
+// Deviated returns the golden CUT with the given deviation applied.
+func (s *System) Deviated(d Deviation) (CUT, error) { return s.CUT.Perturb(d) }
+
+// Shifted returns the golden CUT with a fractional f0 shift — the
+// deviation class the paper sweeps.
+func (s *System) Shifted(shift float64) (CUT, error) {
+	return s.CUT.Perturb(Deviation{F0Shift: shift})
 }
 
 // Period returns the Lissajous period T.
 func (s *System) Period() float64 { return s.Stimulus.Period() }
 
-// output resolves the observed CUT output waveform for parameters p.
-func (s *System) output(p biquad.Params) (*wave.Multitone, error) {
-	f, err := biquad.New(p)
-	if err != nil {
-		return nil, err
-	}
-	if s.Observe == ObserveBP {
-		return f.SteadyStateBP(s.Stimulus, 0.5), nil
-	}
-	return f.SteadyState(s.Stimulus), nil
+// output resolves the observed output waveform of a CUT.
+func (s *System) output(c CUT) (wave.Waveform, error) {
+	return c.Output(s.Stimulus, s.Observe.output())
 }
 
-// Lissajous returns the X-Y composition for a CUT with the given
-// parameters (x = stimulus, y = observed filter output).
-func (s *System) Lissajous(p biquad.Params) (lissajous.Curve, error) {
-	out, err := s.output(p)
+// Lissajous returns the X-Y composition for a CUT (x = stimulus,
+// y = observed output).
+func (s *System) Lissajous(c CUT) (lissajous.Curve, error) {
+	out, err := s.output(c)
 	if err != nil {
 		return lissajous.Curve{}, err
 	}
@@ -153,8 +226,8 @@ func EffectiveNoiseSigma(sigma float64) float64 {
 // both observed signals at every evaluation; sigma is the wideband spread
 // (the paper's 3σ = 0.015 V experiment uses sigma = 0.005) and the
 // monitor sees EffectiveNoiseSigma(sigma) of it.
-func (s *System) Classifier(p biquad.Params, sigma float64, noise *rng.Stream) (signature.Classifier, error) {
-	out, err := s.output(p)
+func (s *System) Classifier(c CUT, sigma float64, noise *rng.Stream) (signature.Classifier, error) {
+	out, err := s.output(c)
 	if err != nil {
 		return nil, err
 	}
@@ -173,8 +246,8 @@ func (s *System) Classifier(p biquad.Params, sigma float64, noise *rng.Stream) (
 
 // ExactSignature computes the ideal (unquantized, noiseless) signature
 // of a CUT.
-func (s *System) ExactSignature(p biquad.Params) (*signature.Signature, error) {
-	cls, err := s.Classifier(p, 0, nil)
+func (s *System) ExactSignature(c CUT) (*signature.Signature, error) {
+	cls, err := s.Classifier(c, 0, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -183,14 +256,14 @@ func (s *System) ExactSignature(p biquad.Params) (*signature.Signature, error) {
 
 // CapturedSignature runs the Fig. 5 clocked capture for a CUT,
 // optionally with measurement noise.
-func (s *System) CapturedSignature(p biquad.Params, sigma float64, noise *rng.Stream) (*signature.Signature, error) {
-	return s.capturedSignature(p, sigma, noise, nil)
+func (s *System) CapturedSignature(c CUT, sigma float64, noise *rng.Stream) (*signature.Signature, error) {
+	return s.capturedSignature(c, sigma, noise, nil)
 }
 
 // capturedSignature is CapturedSignature with reusable capture scratch
 // for Monte-Carlo trial loops (one buffer per campaign worker).
-func (s *System) capturedSignature(p biquad.Params, sigma float64, noise *rng.Stream, buf *signature.CaptureBuffer) (*signature.Signature, error) {
-	cls, err := s.Classifier(p, sigma, noise)
+func (s *System) capturedSignature(c CUT, sigma float64, noise *rng.Stream, buf *signature.CaptureBuffer) (*signature.Signature, error) {
+	cls, err := s.Classifier(c, sigma, noise)
 	if err != nil {
 		return nil, err
 	}
@@ -200,30 +273,39 @@ func (s *System) capturedSignature(p biquad.Params, sigma float64, noise *rng.St
 // GoldenSignature returns the (cached) exact signature of the golden CUT.
 func (s *System) GoldenSignature() (*signature.Signature, error) {
 	s.goldenOnce.Do(func() {
-		s.goldenSig, s.goldenErr = s.ExactSignature(s.Golden)
+		s.goldenSig, s.goldenErr = s.ExactSignature(s.CUT)
 	})
 	return s.goldenSig, s.goldenErr
 }
 
-// NDFOfParams returns the exact NDF of a CUT with arbitrary behavioural
-// parameters against the golden signature — the general entry point the
-// Q-verification and component-fault experiments use.
-func (s *System) NDFOfParams(p biquad.Params) (float64, error) {
+// NDFOf returns the exact NDF of an arbitrary CUT against the golden
+// signature — the general entry point the Q-verification and
+// component-fault experiments use.
+func (s *System) NDFOf(c CUT) (float64, error) {
 	g, err := s.GoldenSignature()
 	if err != nil {
 		return 0, err
 	}
-	obs, err := s.ExactSignature(p)
+	obs, err := s.ExactSignature(c)
 	if err != nil {
 		return 0, err
 	}
 	return ndf.NDF(obs, g)
 }
 
+// NDFOfDeviation perturbs the golden CUT and returns its exact NDF.
+func (s *System) NDFOfDeviation(d Deviation) (float64, error) {
+	c, err := s.Deviated(d)
+	if err != nil {
+		return 0, err
+	}
+	return s.NDFOf(c)
+}
+
 // NDFOfShift returns the exact NDF of a CUT whose natural frequency is
 // shifted by the given fraction — one point of the Fig. 8 curve.
 func (s *System) NDFOfShift(shift float64) (float64, error) {
-	return s.NDFOfParams(s.Golden.WithF0Shift(shift))
+	return s.NDFOfDeviation(Deviation{F0Shift: shift})
 }
 
 // SweepF0 evaluates NDFOfShift over a deviation grid (the Fig. 8 sweep)
@@ -261,19 +343,25 @@ func (s *System) SweepF0Workers(shifts []float64, workers int) ([]float64, error
 // Each period is an independent capture: period k draws its noise from
 // the substream noise.Split(k), so the periods fan out across the
 // campaign pool and the average is deterministic at any worker count.
-func (s *System) AveragedNDF(p biquad.Params, sigma float64, noise *rng.Stream, periods int) (float64, error) {
-	return s.AveragedNDFWorkers(p, sigma, noise, periods, 0)
+func (s *System) AveragedNDF(c CUT, sigma float64, noise *rng.Stream, periods int) (float64, error) {
+	return s.AveragedNDFWorkers(c, sigma, noise, periods, 0)
 }
 
 // AveragedNDFWorkers is AveragedNDF with an explicit worker-pool bound
 // (0 = all CPUs). Campaign runners that already fan trials out pass 1 so
 // the outer pool alone owns the parallelism.
-func (s *System) AveragedNDFWorkers(p biquad.Params, sigma float64, noise *rng.Stream, periods, workers int) (float64, error) {
+func (s *System) AveragedNDFWorkers(c CUT, sigma float64, noise *rng.Stream, periods, workers int) (float64, error) {
 	if periods < 1 {
 		periods = 1
 	}
 	g, err := s.GoldenSignature()
 	if err != nil {
+		return 0, err
+	}
+	// Materialize the observed output once before fan-out: backends with
+	// an expensive Output (the SPICE transient) compute it here instead
+	// of inside every period's capture.
+	if _, err := s.output(c); err != nil {
 		return 0, err
 	}
 	// Split advances the caller's stream — derive the per-period streams
@@ -287,7 +375,7 @@ func (s *System) AveragedNDFWorkers(p biquad.Params, sigma float64, noise *rng.S
 	vals, err := campaign.RunScratch(campaign.Engine{Workers: workers}, periods,
 		func() *signature.CaptureBuffer { return &signature.CaptureBuffer{} },
 		func(k int, buf *signature.CaptureBuffer) (float64, error) {
-			obs, err := s.capturedSignature(p, sigma, streams[k], buf)
+			obs, err := s.capturedSignature(c, sigma, streams[k], buf)
 			if err != nil {
 				return 0, err
 			}
@@ -310,12 +398,12 @@ type TestResult struct {
 }
 
 // Test captures a CUT (with optional noise) and applies the decision.
-func (s *System) Test(p biquad.Params, dec ndf.Decision, sigma float64, noise *rng.Stream) (TestResult, error) {
+func (s *System) Test(c CUT, dec ndf.Decision, sigma float64, noise *rng.Stream) (TestResult, error) {
 	g, err := s.GoldenSignature()
 	if err != nil {
 		return TestResult{}, err
 	}
-	obs, err := s.CapturedSignature(p, sigma, noise)
+	obs, err := s.CapturedSignature(c, sigma, noise)
 	if err != nil {
 		return TestResult{}, err
 	}

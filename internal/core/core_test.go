@@ -24,19 +24,19 @@ func TestDefaultSystemBasics(t *testing.T) {
 
 func TestNewSystemValidation(t *testing.T) {
 	s := Default()
-	if _, err := NewSystem(nil, s.Golden, s.Bank, s.Capture); err == nil {
+	if _, err := NewSystem(nil, s.CUT, s.Bank, s.Capture); err == nil {
 		t.Fatal("nil stimulus accepted")
 	}
-	if _, err := NewSystem(s.Stimulus, biquad.Params{}, s.Bank, s.Capture); err == nil {
-		t.Fatal("invalid golden accepted")
+	if _, err := NewSystem(s.Stimulus, nil, s.Bank, s.Capture); err == nil {
+		t.Fatal("nil CUT accepted")
 	}
-	if _, err := NewSystem(s.Stimulus, s.Golden, nil, s.Capture); err == nil {
+	if _, err := NewSystem(s.Stimulus, s.CUT, nil, s.Capture); err == nil {
 		t.Fatal("nil bank accepted")
 	}
-	if _, err := NewSystem(s.Stimulus, s.Golden, s.Bank, signature.CaptureConfig{}); err == nil {
+	if _, err := NewSystem(s.Stimulus, s.CUT, s.Bank, signature.CaptureConfig{}); err == nil {
 		t.Fatal("invalid capture accepted")
 	}
-	if _, err := NewSystem(s.Stimulus, s.Golden, s.Bank, s.Capture); err != nil {
+	if _, err := NewSystem(s.Stimulus, s.CUT, s.Bank, s.Capture); err != nil {
 		t.Fatalf("valid system rejected: %v", err)
 	}
 }
@@ -118,12 +118,15 @@ func TestSweepShape(t *testing.T) {
 
 func TestCapturedMatchesExactNoiseless(t *testing.T) {
 	s := Default()
-	p := s.Golden.WithF0Shift(0.10)
-	exact, err := s.ExactSignature(p)
+	cut, err := s.Shifted(0.10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	capd, err := s.CapturedSignature(p, 0, nil)
+	exact, err := s.ExactSignature(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capd, err := s.CapturedSignature(cut, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +149,7 @@ func TestNoiseRaisesFloorButKeepsOrder(t *testing.T) {
 	s := Default()
 	sigma := 0.005 // 3σ = 0.015 V, the paper's noise experiment
 	g, _ := s.GoldenSignature()
-	nullSig, err := s.CapturedSignature(s.Golden, sigma, rng.New(1))
+	nullSig, err := s.CapturedSignature(s.CUT, sigma, rng.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +157,11 @@ func TestNoiseRaisesFloorButKeepsOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	devSig, err := s.CapturedSignature(s.Golden.WithF0Shift(0.05), sigma, rng.New(2))
+	shifted, err := s.Shifted(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devSig, err := s.CapturedSignature(shifted, sigma, rng.New(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,14 +187,18 @@ func TestCalibrateAndTest(t *testing.T) {
 		t.Fatalf("threshold = %v", dec.Threshold)
 	}
 	// A golden CUT passes; a +15% CUT fails.
-	good, err := s.Test(s.Golden, dec, 0, nil)
+	good, err := s.Test(s.CUT, dec, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !good.Pass {
 		t.Fatalf("golden CUT rejected: NDF %v vs threshold %v", good.NDF, dec.Threshold)
 	}
-	bad, err := s.Test(s.Golden.WithF0Shift(0.15), dec, 0, nil)
+	shifted, err := s.Shifted(0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := s.Test(shifted, dec, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +209,7 @@ func TestCalibrateAndTest(t *testing.T) {
 
 func TestLissajousAccessor(t *testing.T) {
 	s := Default()
-	c, err := s.Lissajous(s.Golden)
+	c, err := s.Lissajous(s.CUT)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,8 +220,8 @@ func TestLissajousAccessor(t *testing.T) {
 	if math.Abs(p-s.Period()) > 1e-12 {
 		t.Fatalf("curve period %v != system period %v", p, s.Period())
 	}
-	if _, err := s.Lissajous(biquad.Params{}); err == nil {
-		t.Fatal("invalid params accepted")
+	if _, err := s.Deviated(Deviation{F0Shift: -1}); err == nil {
+		t.Fatal("invalid deviation accepted")
 	}
 }
 
@@ -218,7 +229,7 @@ func TestCustomBankSystem(t *testing.T) {
 	// A one-monitor bank still works end to end.
 	s := Default()
 	single := monitor.NewBank(monitor.MustAnalytic(monitor.TableI()[2]))
-	sys, err := NewSystem(s.Stimulus, s.Golden, single, s.Capture)
+	sys, err := NewSystem(s.Stimulus, s.CUT, single, s.Capture)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +252,11 @@ func TestStimulusWithinRails(t *testing.T) {
 	if lo < 0 || hi > 1 {
 		t.Fatalf("stimulus range [%v,%v] leaves the monitor's unit square", lo, hi)
 	}
-	out := biquad.MustNew(s.Golden).SteadyState(s.Stimulus)
+	f, err := biquad.New(s.Golden())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := f.SteadyState(s.Stimulus)
 	rec := wave.SamplePeriods(out, 1, 4000)
 	for _, v := range rec.V {
 		if v < 0 || v > 1 {

@@ -15,7 +15,12 @@ func ExampleSystem_Test() {
 		fmt.Println(err)
 		return
 	}
-	result, err := sys.Test(sys.Golden.WithF0Shift(0.10), decision, 0, nil)
+	cut, err := sys.Shifted(0.10)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	result, err := sys.Test(cut, decision, 0, nil)
 	if err != nil {
 		fmt.Println(err)
 		return

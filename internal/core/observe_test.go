@@ -8,7 +8,7 @@ import (
 func bpSystem(t *testing.T) *System {
 	t.Helper()
 	s := Default()
-	sys, err := NewSystem(s.Stimulus, s.Golden, s.Bank, s.Capture)
+	sys, err := NewSystem(s.Stimulus, s.CUT, s.Bank, s.Capture)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +24,7 @@ func TestObservationString(t *testing.T) {
 
 func TestBPObservationStaysInSquare(t *testing.T) {
 	sys := bpSystem(t)
-	c, err := sys.Lissajous(sys.Golden)
+	c, err := sys.Lissajous(sys.CUT)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,9 +71,7 @@ func TestBPGoldenSignatureDiffersFromLP(t *testing.T) {
 
 func TestBPSeesQDeviation(t *testing.T) {
 	bp := bpSystem(t)
-	p := bp.Golden
-	p.Q *= 1.2
-	v, err := bp.NDFOfParams(p)
+	v, err := bp.NDFOfDeviation(Deviation{QShift: 0.2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,18 +80,18 @@ func TestBPSeesQDeviation(t *testing.T) {
 	}
 }
 
-func TestNDFOfParamsMatchesShiftHelper(t *testing.T) {
+func TestNDFOfDeviationMatchesShiftHelper(t *testing.T) {
 	s := Default()
 	a, err := s.NDFOfShift(0.07)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.NDFOfParams(s.Golden.WithF0Shift(0.07))
+	b, err := s.NDFOfDeviation(Deviation{F0Shift: 0.07})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a != b {
-		t.Fatalf("NDFOfShift %v != NDFOfParams %v", a, b)
+		t.Fatalf("NDFOfShift %v != NDFOfDeviation %v", a, b)
 	}
 }
 
@@ -113,7 +111,7 @@ func TestAveragedNDFReducesVariance(t *testing.T) {
 	// periods < 1 is clamped and the result is finite and positive
 	// under noise.
 	s := Default()
-	v, err := s.AveragedNDF(s.Golden, 0.005, nil, 0)
+	v, err := s.AveragedNDF(s.CUT, 0.005, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

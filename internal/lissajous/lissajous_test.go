@@ -110,8 +110,14 @@ func paperCurves(t *testing.T) (golden, defective Curve) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := biquad.MustNew(biquad.Params{F0: 10e3, Q: 0.9, Gain: 1})
-	d := biquad.MustNew(g.Params().WithF0Shift(0.10))
+	g, err := biquad.New(biquad.Params{F0: 10e3, Q: 0.9, Gain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := biquad.New(g.Params().WithF0Shift(0.10))
+	if err != nil {
+		t.Fatal(err)
+	}
 	cg, err := New(in, g.SteadyState(in))
 	if err != nil {
 		t.Fatal(err)

@@ -20,11 +20,15 @@ import (
 // digital level, matching the paper's "high gain output stage to
 // digitalize the differential output" (total area 116.1 µm²).
 type Spice struct {
-	cfg      Config
-	ckt      *spice.Circuit
-	vx       [4]*spice.VSource
-	refBit   int
-	prevSol  *spice.Solution
+	cfg     Config
+	ckt     *spice.Circuit
+	vx      [4]*spice.VSource
+	refBit  int
+	prevSol *spice.Solution
+	// ws keeps the MNA matrix, RHS and LU buffers alive between Bit
+	// evaluations — a boundary trace solves the same circuit thousands
+	// of times, and without reuse every solve re-allocates the solver.
+	ws       *spice.Workspace
 	digital  bool // true when the inverter output stage is present
 	outDNode string
 }
@@ -47,7 +51,7 @@ func newSpice(cfg Config, devs *[4]mos.Device, outputStage bool) (*Spice, error)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Spice{cfg: cfg, digital: outputStage}
+	m := &Spice{cfg: cfg, digital: outputStage, ws: spice.NewWorkspace()}
 	m.ckt = spice.New()
 	c := m.ckt
 	vdd := c.Node("vdd")
@@ -124,7 +128,7 @@ func (m *Spice) rawBit(x, y float64) (int, error) {
 	for i := 0; i < 4; i++ {
 		m.vx[i].SetDC(m.cfg.Inputs[i].Voltage(x, y))
 	}
-	sol, err := spice.DCOperatingPointFrom(m.ckt, spice.Options{}, m.prevSol)
+	sol, err := spice.DCOperatingPointWS(m.ckt, spice.Options{}, m.prevSol, m.ws)
 	if err != nil {
 		return 0, err
 	}
@@ -179,7 +183,7 @@ func (m *Spice) OutputVoltages(x, y float64) (v1, v2 float64, err error) {
 	for i := 0; i < 4; i++ {
 		m.vx[i].SetDC(m.cfg.Inputs[i].Voltage(x, y))
 	}
-	sol, err := spice.DCOperatingPointFrom(m.ckt, spice.Options{}, m.prevSol)
+	sol, err := spice.DCOperatingPointWS(m.ckt, spice.Options{}, m.prevSol, m.ws)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -46,7 +46,11 @@ func TestAlignedStillSeparatesDefects(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := sys.ExactSignature(sys.Golden.WithF0Shift(0.10))
+	cut, err := sys.Shifted(0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sys.ExactSignature(cut)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -234,7 +234,10 @@ func TestPaperNDFOrderOfMagnitude(t *testing.T) {
 		t.Fatal(err)
 	}
 	mk := func(shift float64) *signature.Signature {
-		f := biquad.MustNew(biquad.Params{F0: 10e3, Q: 0.9, Gain: 1}.WithF0Shift(shift))
+		f, err := biquad.New(biquad.Params{F0: 10e3, Q: 0.9, Gain: 1}.WithF0Shift(shift))
+		if err != nil {
+			t.Fatal(err)
+		}
 		out := f.SteadyState(in)
 		s, err := signature.Exact(func(tt float64) monitor.Code {
 			return bank.Classify(in.Eval(tt), out.Eval(tt))

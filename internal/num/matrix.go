@@ -91,11 +91,19 @@ func (m *Matrix) String() string {
 
 // LU holds an in-place LU factorization with partial pivoting of a square
 // matrix: PA = LU, with L unit lower triangular stored below the diagonal.
+// The factorization owns a solve scratch vector, so repeated Solve calls
+// (the per-step hot path of a linear transient analysis) are
+// allocation-free; like the workspaces in internal/spice it is not safe
+// for concurrent use.
 type LU struct {
 	lu   *Matrix
 	piv  []int
 	sign int
+	tmp  []float64
 }
+
+// Dim returns the dimension of the factored system.
+func (f *LU) Dim() int { return f.lu.Rows }
 
 // pivotTol is the absolute pivot magnitude below which the factorization is
 // declared singular. Circuit matrices carry a gmin on every diagonal, so a
@@ -107,7 +115,7 @@ func Factor(a *Matrix) (*LU, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("num: Factor needs square matrix, got %dx%d", a.Rows, a.Cols)
 	}
-	f := &LU{lu: a.Clone(), piv: make([]int, a.Rows), sign: 1}
+	f := &LU{lu: a.Clone(), piv: make([]int, a.Rows), sign: 1, tmp: make([]float64, a.Rows)}
 	if err := f.refactor(); err != nil {
 		return nil, err
 	}
@@ -166,14 +174,15 @@ func (f *LU) refactor() error {
 }
 
 // Solve solves A·x = b using the factorization, writing the result into x.
-// b and x may alias.
+// b and x may alias. The factorization's internal scratch is reused, so
+// Solve does not allocate.
 func (f *LU) Solve(b, x []float64) {
 	n := f.lu.Rows
 	if len(b) != n || len(x) != n {
 		panic("num: Solve dimension mismatch")
 	}
 	// Apply permutation.
-	tmp := make([]float64, n)
+	tmp := f.tmp
 	for i, p := range f.piv {
 		tmp[i] = b[p]
 	}

@@ -270,7 +270,10 @@ func paperSignature(t *testing.T, f0Shift float64) (*Signature, *monitor.Bank) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := biquad.MustNew(biquad.Params{F0: 10e3, Q: 0.9, Gain: 1}.WithF0Shift(f0Shift))
+	f, err := biquad.New(biquad.Params{F0: 10e3, Q: 0.9, Gain: 1}.WithF0Shift(f0Shift))
+	if err != nil {
+		t.Fatal(err)
+	}
 	out := f.SteadyState(in)
 	bank := monitor.NewAnalyticTableI()
 	cls := func(tt float64) monitor.Code {

@@ -35,6 +35,11 @@ type Circuit struct {
 	nodeName []string
 	elements []Element
 	nBranch  int // number of extra MNA branch-current unknowns
+	// invalid records the first non-physical element registered via Add
+	// (e.g. a non-positive resistance). Construction stays panic-free;
+	// every analysis reports the deferred error instead of solving a
+	// garbage system.
+	invalid error
 }
 
 // New returns an empty circuit.
@@ -72,14 +77,25 @@ func (c *Circuit) NumNodes() int { return len(c.nodeName) }
 func (c *Circuit) Size() int { return len(c.nodeName) + c.nBranch }
 
 // Add registers an element. Elements that need a branch-current unknown
-// (voltage sources, VCVS) are assigned one here.
+// (voltage sources, VCVS) are assigned one here. Elements carrying
+// non-physical values are still registered, but the defect is recorded
+// and every subsequent analysis fails with it (see Validate).
 func (c *Circuit) Add(e Element) {
+	if v, ok := e.(validatedElement); ok && c.invalid == nil {
+		if err := v.validate(); err != nil {
+			c.invalid = err
+		}
+	}
 	if b, ok := e.(branchUser); ok {
 		b.setBranch(len(c.nodeName)) // placeholder; finalized in assignBranches
 		c.nBranch++
 	}
 	c.elements = append(c.elements, e)
 }
+
+// Validate returns the first non-physical element error recorded by Add
+// (nil for a healthy netlist). Analyses call it before solving.
+func (c *Circuit) Validate() error { return c.invalid }
 
 // assignBranches gives every branch-using element its final row index
 // (after all nodes are known). Called once per analysis.
@@ -95,6 +111,21 @@ func (c *Circuit) assignBranches() {
 
 // Elements returns the registered elements (read-only use).
 func (c *Circuit) Elements() []Element { return c.elements }
+
+// Linear reports whether every element stamps a solution-independent
+// (linear) companion model. Linear circuits need no Newton iteration:
+// with a fixed timestep the MNA matrix is constant, so a transient can
+// factor it once and only re-solve per step (the fast path in
+// TransientSolver). Elements mark themselves nonlinear by implementing
+// the nonlinearElement capability (the MOSFET does).
+func (c *Circuit) Linear() bool {
+	for _, e := range c.elements {
+		if _, ok := e.(nonlinearElement); ok {
+			return false
+		}
+	}
+	return true
+}
 
 // FindElement returns the first element with the given name, or nil.
 func (c *Circuit) FindElement(name string) Element {
@@ -199,10 +230,40 @@ type branchUser interface {
 	setBranch(row int)
 }
 
+// validatedElement is the capability interface for elements that can
+// check their own values; Add records the first failure on the circuit.
+type validatedElement interface {
+	validate() error
+}
+
+// nonlinearElement is the capability marker for elements whose Stamp
+// depends on the current Newton iterate (Stamper.X). Circuits without
+// any such element qualify for the single-factorization transient fast
+// path.
+type nonlinearElement interface {
+	nonlinearStamp()
+}
+
+// nullMatrix discards matrix writes. The linear transient fast path
+// stamps every element per step only to refresh the RHS; the (constant)
+// matrix contributions land here.
+type nullMatrix struct{}
+
+func (nullMatrix) Add(i, j int, v float64) {}
+
 // Solution holds the result of an analysis at one bias/time point.
 type Solution struct {
 	circuit *Circuit
 	X       []float64
+}
+
+// Clone returns a deep copy of the solution. Streaming transient
+// callbacks receive a solution whose X aliases solver scratch; callers
+// that keep a step beyond the callback clone it.
+func (s *Solution) Clone() *Solution {
+	x := make([]float64, len(s.X))
+	copy(x, s.X)
+	return &Solution{circuit: s.circuit, X: x}
 }
 
 // Voltage returns the solved voltage at the named node.

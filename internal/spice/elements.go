@@ -2,6 +2,7 @@ package spice
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/mos"
 	"repro/internal/wave"
@@ -14,12 +15,19 @@ type Resistor struct {
 	Ohms float64
 }
 
-// NewResistor creates a resistor between nodes p and m.
+// NewResistor creates a resistor between nodes p and m. Ohms must be
+// positive and finite; a bad value never panics — Circuit.Add records it
+// and every analysis on that circuit returns the error.
 func NewResistor(name string, p, m NodeID, ohms float64) *Resistor {
-	if ohms <= 0 {
-		panic(fmt.Sprintf("spice: resistor %s must have positive resistance", name))
-	}
 	return &Resistor{name: name, P: p, M: m, Ohms: ohms}
+}
+
+// validate implements the Add-time element check.
+func (r *Resistor) validate() error {
+	if r.Ohms <= 0 || math.IsInf(r.Ohms, 0) || math.IsNaN(r.Ohms) {
+		return fmt.Errorf("spice: resistor %s value %g must be positive and finite", r.name, r.Ohms)
+	}
+	return nil
 }
 
 // Name implements Element.
@@ -38,12 +46,19 @@ type Capacitor struct {
 	prevCur float64 // previous capacitor current, for trapezoidal
 }
 
-// NewCapacitor creates a capacitor between nodes p and m.
+// NewCapacitor creates a capacitor between nodes p and m. Farads must be
+// positive and finite; like NewResistor, misuse surfaces as an analysis
+// error recorded by Circuit.Add, not a panic.
 func NewCapacitor(name string, p, m NodeID, farads float64) *Capacitor {
-	if farads <= 0 {
-		panic(fmt.Sprintf("spice: capacitor %s must have positive capacitance", name))
-	}
 	return &Capacitor{name: name, P: p, M: m, Farads: farads}
+}
+
+// validate implements the Add-time element check.
+func (c *Capacitor) validate() error {
+	if c.Farads <= 0 || math.IsInf(c.Farads, 0) || math.IsNaN(c.Farads) {
+		return fmt.Errorf("spice: capacitor %s value %g must be positive and finite", c.name, c.Farads)
+	}
+	return nil
 }
 
 // Name implements Element.
@@ -111,6 +126,14 @@ func (v *VSource) Name() string { return v.name }
 
 // SetDC changes the DC value (used by sweeps).
 func (v *VSource) SetDC(volts float64) { v.src.dc = volts; v.src.w = nil }
+
+// SetWaveform drives the source with w; the DC value used by
+// operating-point analyses becomes w.Eval(0). This is how a netlist
+// built for DC/AC analysis (e.g. biquad.Components.Netlist) is excited
+// with the multitone stimulus for a transient run.
+func (v *VSource) SetWaveform(w wave.Waveform) {
+	v.src = sourceWaveform{dc: w.Eval(0), w: w}
+}
 
 // DC returns the current DC value.
 func (v *VSource) DC() float64 { return v.src.dc }
@@ -231,6 +254,11 @@ func NewMOSFET(name string, d, g, s NodeID, dev mos.Device) *MOSFET {
 
 // Name implements Element.
 func (m *MOSFET) Name() string { return m.name }
+
+// nonlinearStamp marks the MOSFET as the (only) element whose companion
+// model depends on the Newton iterate, disqualifying circuits that
+// contain one from the linear transient fast path.
+func (m *MOSFET) nonlinearStamp() {}
 
 // Op evaluates the device at a solved operating point.
 func (m *MOSFET) Op(sol *Solution) mos.OpPoint {

@@ -24,12 +24,21 @@ func FuzzParseValue(f *testing.F) {
 	})
 }
 
-// FuzzParse: arbitrary netlist text must never panic the parser.
+// FuzzParse: arbitrary netlist text must never panic the parser. The
+// non-positive and non-finite R/C/W/L seeds pin the validation path that
+// guards the element constructors (which themselves no longer panic).
 func FuzzParse(f *testing.F) {
 	f.Add("V1 a 0 1\nR1 a 0 1k\n")
 	f.Add(".subckt s a\nR1 a 0 1k\n.ends\nX1 b s\nV1 b 0 1\n")
 	f.Add(".model m nmos VTO=0.4\nM1 d g 0 m W=1u L=180n\n")
 	f.Add("* comment\n.end\n")
+	f.Add("R1 a 0 0\n")
+	f.Add("R1 a 0 -1k\n")
+	f.Add("C1 a 0 -1n\n")
+	f.Add("C1 a 0 NaN\n")
+	f.Add("R1 a 0 Inf\n")
+	f.Add(".subckt s a\nC1 a 0 0\n.ends\nX1 b s\n")
+	f.Add("M1 d g 0 nmos W=-1u L=0\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		if len(src) > 4096 {
 			return

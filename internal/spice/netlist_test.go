@@ -143,6 +143,29 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestParseRejectsNonPositiveRC pins the parser-side validation that
+// keeps non-physical element values out of the circuit: non-positive or
+// non-finite R/C values are a parse error (never a panic), including
+// inside subcircuit bodies.
+func TestParseRejectsNonPositiveRC(t *testing.T) {
+	bad := []string{
+		"R1 a 0 0",
+		"R1 a 0 -1k",
+		"C1 a 0 0",
+		"C1 a 0 -4.7u",
+		"R1 a 0 Inf",
+		"C1 a 0 NaN",
+		"M1 d g 0 nmos W=-1u",
+		"M1 d g 0 nmos L=0",
+		".subckt s a\nR1 a 0 -1\n.ends\nX1 b s",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("Parse(%q) should reject the non-physical value", src)
+		}
+	}
+}
+
 func TestParseSkipsCommentsAndBlank(t *testing.T) {
 	c, err := Parse("* a comment\n\nV1 a 0 1\nR1 a 0 1k\n; full-line comment via semicolon is not stripped at start\n")
 	if err == nil {

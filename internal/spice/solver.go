@@ -20,6 +20,10 @@ type Options struct {
 	Gmin      float64 // minimum conductance to ground on every node (default 1e-12)
 	MaxStep   float64 // max voltage update per Newton iteration, V (default 0.3)
 	Trapezoid bool    // use trapezoidal integration in Transient
+	// ForceNewton disables the linear transient fast path, running the
+	// per-step Newton loop even for linear circuits. It exists for the
+	// fast-path-vs-Newton equivalence tests and benchmarks.
+	ForceNewton bool
 }
 
 func (o Options) withDefaults() Options {
@@ -41,80 +45,132 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Workspace holds the matrix, RHS, iterate, LU and state buffers one
+// analysis needs. A campaign trial loop allocates one Workspace per
+// worker and threads it through every solve (mirroring the
+// signature.CaptureBuffer pattern), so repeated trials on same-sized
+// circuits — e.g. perturbed Tow-Thomas netlists in a Monte-Carlo fault
+// or yield study — reuse all heavy allocations. Buffers are (re)sized
+// and cleared on first use by each analysis; stale contents never affect
+// results. Like rng.Stream it is not safe for concurrent use.
+type Workspace struct {
+	a                *num.Matrix
+	b, x, xNew, prev []float64
+	lu               *num.LU
+}
+
+// NewWorkspace returns an empty workspace; buffers are allocated lazily
+// to the size of the first circuit solved with it.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// ensure sizes the buffers for an n-dimensional MNA system and clears
+// the vectors so a fresh analysis never observes a previous trial.
+func (w *Workspace) ensure(n int) {
+	if w.a == nil || w.a.Rows != n {
+		w.a = num.NewMatrix(n, n)
+		w.b = make([]float64, n)
+		w.x = make([]float64, n)
+		w.xNew = make([]float64, n)
+		w.prev = make([]float64, n)
+		w.lu = nil
+		return
+	}
+	w.a.Zero()
+	for i := 0; i < n; i++ {
+		w.b[i] = 0
+		w.x[i] = 0
+		w.xNew[i] = 0
+		w.prev[i] = 0
+	}
+}
+
+// factor (re)factors the workspace matrix into the reusable LU.
+func (w *Workspace) factor() error {
+	if w.lu == nil || w.lu.Dim() != w.a.Rows {
+		lu, err := num.Factor(w.a)
+		if err != nil {
+			return err
+		}
+		w.lu = lu
+		return nil
+	}
+	return w.lu.FactorInto(w.a)
+}
+
 // solver carries reusable workspaces across Newton iterations and sweeps.
 type solver struct {
-	c    *Circuit
-	opt  Options
-	a    *num.Matrix
-	b    []float64
-	x    []float64
-	xNew []float64
-	lu   *num.LU
+	c   *Circuit
+	opt Options
+	ws  *Workspace
 }
 
 func newSolver(c *Circuit, opt Options) *solver {
-	c.assignBranches()
-	n := c.Size()
-	s := &solver{
-		c:    c,
-		opt:  opt.withDefaults(),
-		a:    num.NewMatrix(n, n),
-		b:    make([]float64, n),
-		x:    make([]float64, n),
-		xNew: make([]float64, n),
-	}
-	return s
+	return newSolverWS(c, opt, nil)
 }
 
-// newton runs damped Newton-Raphson from the current s.x with the given
-// stamper template (time/dt/prev/DC/srcScale) and gmin. On success s.x
-// holds the solution.
+// newSolverWS builds a solver over a caller-owned workspace (nil for a
+// private one).
+func newSolverWS(c *Circuit, opt Options, ws *Workspace) *solver {
+	c.assignBranches()
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	ws.ensure(c.Size())
+	opt = opt.withDefaults()
+	// Linear circuits need no Newton damping: the first iteration lands
+	// on the exact solution, so the per-iteration voltage clamp only
+	// slows (or, for operating points far from zero — e.g. a shorted
+	// gain resistor driving a node to 10⁵ V — prevents) convergence.
+	if c.Linear() {
+		opt.MaxStep = math.Inf(1)
+	}
+	return &solver{c: c, opt: opt, ws: ws}
+}
+
+// newton runs damped Newton-Raphson from the current iterate with the
+// given stamper template (time/dt/prev/DC/srcScale) and gmin. On success
+// the workspace x holds the solution.
 func (s *solver) newton(tmpl Stamper, gmin float64) error {
 	n := s.c.Size()
 	nNodes := s.c.NumNodes()
+	ws := s.ws
 	for iter := 0; iter < s.opt.MaxIter; iter++ {
-		s.a.Zero()
-		for i := range s.b {
-			s.b[i] = 0
+		ws.a.Zero()
+		for i := range ws.b {
+			ws.b[i] = 0
 		}
 		st := tmpl
-		st.A = s.a
-		st.B = s.b
-		st.X = s.x
+		st.A = ws.a
+		st.B = ws.b
+		st.X = ws.x
 		for _, e := range s.c.elements {
 			e.Stamp(&st)
 		}
 		// gmin from every node to ground keeps the matrix nonsingular in
 		// the presence of floating or source-follower nodes.
 		for i := 0; i < nNodes; i++ {
-			s.a.Add(i, i, gmin)
+			ws.a.Add(i, i, gmin)
 		}
-		if s.lu == nil {
-			lu, err := num.Factor(s.a)
-			if err != nil {
-				return fmt.Errorf("spice: singular MNA matrix: %w", err)
-			}
-			s.lu = lu
-		} else if err := s.lu.FactorInto(s.a); err != nil {
+		if err := ws.factor(); err != nil {
 			return fmt.Errorf("spice: singular MNA matrix: %w", err)
 		}
-		s.lu.Solve(s.b, s.xNew)
+		ws.lu.Solve(ws.b, ws.xNew)
 		// Damped update with per-variable step clamp on node voltages.
 		maxDelta := 0.0
 		for i := 0; i < n; i++ {
-			d := s.xNew[i] - s.x[i]
+			d := ws.xNew[i] - ws.x[i]
 			if i < nNodes {
 				d = num.Clamp(d, -s.opt.MaxStep, s.opt.MaxStep)
 			}
 			if ad := math.Abs(d); ad > maxDelta && i < nNodes {
 				maxDelta = ad
 			}
-			s.x[i] += d
+			ws.x[i] += d
 		}
 		if math.IsNaN(maxDelta) {
 			return ErrNoConvergence
 		}
-		if maxDelta < s.opt.AbsTol+s.opt.RelTol*num.NormInf(s.x[:nNodes]) {
+		if maxDelta < s.opt.AbsTol+s.opt.RelTol*num.NormInf(ws.x[:nNodes]) {
 			return nil
 		}
 	}
@@ -137,18 +193,30 @@ func DCOperatingPointFrom(c *Circuit, opt Options, prev *Solution) (*Solution, e
 	return s.dcop(prev)
 }
 
+// DCOperatingPointWS is DCOperatingPointFrom with a caller-owned
+// workspace, for hot loops that solve the same circuit at many bias
+// points (the transistor-level monitor's per-sample Bit evaluation).
+func DCOperatingPointWS(c *Circuit, opt Options, prev *Solution, ws *Workspace) (*Solution, error) {
+	s := newSolverWS(c, opt, ws)
+	return s.dcop(prev)
+}
+
 func (s *solver) dcop(init *Solution) (*Solution, error) {
+	if err := s.c.Validate(); err != nil {
+		return nil, err
+	}
+	ws := s.ws
 	tmpl := Stamper{DC: true, SrcScale: 1}
-	if init != nil && len(init.X) == len(s.x) {
-		copy(s.x, init.X)
+	if init != nil && len(init.X) == len(ws.x) {
+		copy(ws.x, init.X)
 	}
 	if err := s.newton(tmpl, s.opt.Gmin); err == nil {
 		return s.solution(), nil
 	}
 	// gmin stepping: solve with a large gmin, then relax it decade by
 	// decade, reusing each solution as the next starting point.
-	for i := range s.x {
-		s.x[i] = 0
+	for i := range ws.x {
+		ws.x[i] = 0
 	}
 	converged := true
 	for g := 1e-3; g >= s.opt.Gmin; g /= 10 {
@@ -163,8 +231,8 @@ func (s *solver) dcop(init *Solution) (*Solution, error) {
 		}
 	}
 	// Source stepping: ramp all independent sources from 10% to 100%.
-	for i := range s.x {
-		s.x[i] = 0
+	for i := range ws.x {
+		ws.x[i] = 0
 	}
 	for scale := 0.1; ; scale += 0.1 {
 		if scale > 1 {
@@ -182,8 +250,8 @@ func (s *solver) dcop(init *Solution) (*Solution, error) {
 }
 
 func (s *solver) solution() *Solution {
-	x := make([]float64, len(s.x))
-	copy(x, s.x)
+	x := make([]float64, len(s.ws.x))
+	copy(x, s.ws.x)
 	return &Solution{circuit: s.c, X: x}
 }
 
@@ -215,70 +283,6 @@ func DCSweep(c *Circuit, opt Options, sourceName string, values []float64) (*Swe
 		res.Values = append(res.Values, v)
 		res.Solutions = append(res.Solutions, sol)
 		prev = sol
-	}
-	return res, nil
-}
-
-// TransientResult holds a fixed-step transient analysis.
-type TransientResult struct {
-	Time      []float64
-	Solutions []*Solution
-}
-
-// VoltageSeries extracts one node's waveform from the result.
-func (tr *TransientResult) VoltageSeries(node string) ([]float64, error) {
-	out := make([]float64, len(tr.Solutions))
-	for i, s := range tr.Solutions {
-		v, err := s.Voltage(node)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = v
-	}
-	return out, nil
-}
-
-// Transient runs a fixed-timestep transient analysis over [0, dur] with
-// the given number of steps. The initial condition is the DC operating
-// point at t = 0.
-func Transient(c *Circuit, opt Options, dur float64, steps int) (*TransientResult, error) {
-	if steps < 1 {
-		return nil, fmt.Errorf("spice: transient needs at least 1 step")
-	}
-	s := newSolver(c, opt)
-	op, err := s.dcop(nil)
-	if err != nil {
-		return nil, fmt.Errorf("spice: transient initial OP: %w", err)
-	}
-	dt := dur / float64(steps)
-	res := &TransientResult{
-		Time:      []float64{0},
-		Solutions: []*Solution{op},
-	}
-	prev := make([]float64, len(op.X))
-	copy(prev, op.X)
-	copy(s.x, op.X)
-	for k := 1; k <= steps; k++ {
-		t := float64(k) * dt
-		tmpl := Stamper{
-			Time:        t,
-			Dt:          dt,
-			Prev:        prev,
-			SrcScale:    1,
-			Trapezoidal: s.opt.Trapezoid,
-		}
-		if err := s.newton(tmpl, s.opt.Gmin); err != nil {
-			return nil, fmt.Errorf("spice: transient step %d (t=%g): %w", k, t, err)
-		}
-		sol := s.solution()
-		for _, e := range s.c.elements {
-			if cap, ok := e.(*Capacitor); ok {
-				cap.commitStep(sol.X, prev, dt, s.opt.Trapezoid)
-			}
-		}
-		copy(prev, sol.X)
-		res.Time = append(res.Time, t)
-		res.Solutions = append(res.Solutions, sol)
 	}
 	return res, nil
 }

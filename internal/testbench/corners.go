@@ -33,12 +33,12 @@ func RunCornerDrift(sys *core.System) (*CornerDrift, error) {
 		if err != nil {
 			return nil, err
 		}
-		cSys, err := core.NewSystem(sys.Stimulus, sys.Golden, bank, sys.Capture)
+		cSys, err := core.NewSystem(sys.Stimulus, sys.CUT, bank, sys.Capture)
 		if err != nil {
 			return nil, err
 		}
 		cSys.Observe = sys.Observe
-		obs, err := cSys.ExactSignature(sys.Golden)
+		obs, err := cSys.ExactSignature(sys.CUT)
 		if err != nil {
 			return nil, err
 		}

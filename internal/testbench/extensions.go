@@ -23,20 +23,19 @@ type ExtQ struct {
 
 // RunExtQ sweeps fractional Q deviations.
 func RunExtQ(sys *core.System, devs []float64) (*ExtQ, error) {
-	bpSys, err := core.NewSystem(sys.Stimulus, sys.Golden, sys.Bank, sys.Capture)
+	bpSys, err := core.NewSystem(sys.Stimulus, sys.CUT, sys.Bank, sys.Capture)
 	if err != nil {
 		return nil, err
 	}
 	bpSys.Observe = core.ObserveBP
 	out := &ExtQ{Devs: devs}
 	for _, d := range devs {
-		p := sys.Golden
-		p.Q *= 1 + d
-		lp, err := sys.NDFOfParams(p)
+		dev := core.Deviation{QShift: d}
+		lp, err := sys.NDFOfDeviation(dev)
 		if err != nil {
 			return nil, err
 		}
-		bp, err := bpSys.NDFOfParams(p)
+		bp, err := bpSys.NDFOfDeviation(dev)
 		if err != nil {
 			return nil, err
 		}
@@ -92,33 +91,36 @@ func DefaultFaultSet() []biquad.Fault {
 	return out
 }
 
-// RunFaultTable injects every fault into the golden Tow-Thomas design
-// and tests the faulty circuit with the given decision threshold. The
-// fault injections are independent and fan out across the campaign pool;
-// the table rows stay in fault order.
+// RunFaultTable injects every fault into the golden realization (via
+// CUT.Perturb, so the injection happens at component level on whichever
+// backend the system runs — analytic model or SPICE netlist) and tests
+// the faulty circuit with the given decision threshold. The fault
+// injections are independent and fan out across the campaign pool; the
+// table rows stay in fault order.
 func RunFaultTable(sys *core.System, dec ndf.Decision, faults []biquad.Fault) (*FaultTable, error) {
-	golden, err := biquad.DesignTowThomas(sys.Golden, 1e-9)
-	if err != nil {
-		return nil, err
-	}
+	return RunFaultTableWorkers(sys, dec, faults, 0)
+}
+
+// RunFaultTableWorkers is RunFaultTable with an explicit worker-pool
+// bound (0 = all CPUs); the table is bit-identical at any worker count.
+func RunFaultTableWorkers(sys *core.System, dec ndf.Decision, faults []biquad.Fault, workers int) (*FaultTable, error) {
 	// Materialize the golden signature before fan-out so the sync.Once
 	// does not serialize the workers.
 	if _, err := sys.GoldenSignature(); err != nil {
 		return nil, err
 	}
-	cases, err := campaign.Run(campaign.Engine{}, len(faults),
+	cases, err := campaign.Run(campaign.Engine{Workers: workers}, len(faults),
 		func(i int) (FaultCase, error) {
 			f := faults[i]
-			comps := f.Apply(golden)
-			p, err := comps.Params()
+			cut, err := sys.Deviated(core.Deviation{Fault: &f})
 			if err != nil {
 				return FaultCase{}, fmt.Errorf("testbench: fault %s: %w", f, err)
 			}
-			v, err := sys.NDFOfParams(p)
+			v, err := sys.NDFOf(cut)
 			if err != nil {
 				return FaultCase{}, fmt.Errorf("testbench: fault %s: %w", f, err)
 			}
-			return FaultCase{Fault: f, Params: p, NDF: v, Detected: !dec.Pass(v)}, nil
+			return FaultCase{Fault: f, Params: cut.Params(), NDF: v, Detected: !dec.Pass(v)}, nil
 		})
 	if err != nil {
 		return nil, err

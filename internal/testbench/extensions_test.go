@@ -31,18 +31,18 @@ func TestDualObservationSeparatesQFromF0(t *testing.T) {
 	// pair diagnoses which parameter moved — single-output observation
 	// cannot do that.
 	s := sys()
-	bpSys, err := core.NewSystem(s.Stimulus, s.Golden, s.Bank, s.Capture)
+	bpSys, err := core.NewSystem(s.Stimulus, s.CUT, s.Bank, s.Capture)
 	if err != nil {
 		t.Fatal(err)
 	}
 	bpSys.Observe = core.ObserveBP
 
-	ratio := func(p biquad.Params) float64 {
-		lp, err := s.NDFOfParams(p)
+	ratio := func(dev core.Deviation) float64 {
+		lp, err := s.NDFOfDeviation(dev)
 		if err != nil {
 			t.Fatal(err)
 		}
-		bp, err := bpSys.NDFOfParams(p)
+		bp, err := bpSys.NDFOfDeviation(dev)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -51,10 +51,8 @@ func TestDualObservationSeparatesQFromF0(t *testing.T) {
 		}
 		return bp / lp
 	}
-	qFault := s.Golden
-	qFault.Q *= 1.3
-	f0Fault := s.Golden.WithF0Shift(0.10)
-	rQ, rF0 := ratio(qFault), ratio(f0Fault)
+	rQ := ratio(core.Deviation{QShift: 0.3})
+	rF0 := ratio(core.Deviation{F0Shift: 0.10})
 	if rQ/rF0 < 1.3 && rF0/rQ < 1.3 {
 		t.Fatalf("BP/LP ratios too similar to diagnose: Q fault %v vs f0 fault %v", rQ, rF0)
 	}

@@ -33,7 +33,11 @@ func RunFig6(sys *core.System, shift float64, gridN int) (*Fig6, error) {
 	if err != nil {
 		return nil, err
 	}
-	d, err := sys.ExactSignature(sys.Golden.WithF0Shift(shift))
+	cut, err := sys.Shifted(shift)
+	if err != nil {
+		return nil, err
+	}
+	d, err := sys.ExactSignature(cut)
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +87,11 @@ func RunFig7(sys *core.System, shift float64, n int) (*Fig7, error) {
 	if err != nil {
 		return nil, err
 	}
-	d, err := sys.ExactSignature(sys.Golden.WithF0Shift(shift))
+	cut, err := sys.Shifted(shift)
+	if err != nil {
+		return nil, err
+	}
+	d, err := sys.ExactSignature(cut)
 	if err != nil {
 		return nil, err
 	}

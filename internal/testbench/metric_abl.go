@@ -28,7 +28,11 @@ func RunAblMetric(sys *core.System, devs []float64) (*AblMetric, error) {
 	}
 	out := &AblMetric{Devs: devs}
 	for _, d := range devs {
-		obs, err := sys.ExactSignature(sys.Golden.WithF0Shift(d))
+		cut, err := sys.Shifted(d)
+		if err != nil {
+			return nil, err
+		}
+		obs, err := sys.ExactSignature(cut)
 		if err != nil {
 			return nil, err
 		}

@@ -70,9 +70,13 @@ func TestNoiseDistributionsStatisticallyDistinct(t *testing.T) {
 	s := sys()
 	src := rng.New(31)
 	sample := func(shift float64, base uint64) []float64 {
+		cut, err := s.Shifted(shift)
+		if err != nil {
+			t.Fatal(err)
+		}
 		out := make([]float64, 16)
 		for i := range out {
-			v, err := s.AveragedNDF(s.Golden.WithF0Shift(shift), 0.005, src.Split(base+uint64(i)), 3)
+			v, err := s.AveragedNDF(cut, 0.005, src.Split(base+uint64(i)), 3)
 			if err != nil {
 				t.Fatal(err)
 			}

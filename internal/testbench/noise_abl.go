@@ -40,13 +40,17 @@ func RunNoiseDetection(sys *core.System, sigma float64, devs []float64, nullTria
 	// measure runs one batch of averaged-NDF trials at a deviation, using
 	// streams pre-derived (serially) with the given base offset.
 	measure := func(shift float64, n int, base uint64) ([]float64, error) {
+		cut, err := sys.Shifted(shift)
+		if err != nil {
+			return nil, err
+		}
 		streams := make([]*rng.Stream, n)
 		for i := range streams {
 			streams[i] = src.Split(base + uint64(i))
 		}
 		return campaign.Run(eng, n, func(i int) (float64, error) {
 			// The outer pool owns the parallelism: periods run serially.
-			return sys.AveragedNDFWorkers(sys.Golden.WithF0Shift(shift), sigma, streams[i], periods, 1)
+			return sys.AveragedNDFWorkers(cut, sigma, streams[i], periods, 1)
 		})
 	}
 	nulls, err := measure(0, nullTrials, 0)
@@ -114,7 +118,7 @@ func RunAblLinear(sys *core.System, devs []float64) (*AblLinear, error) {
 	if err != nil {
 		return nil, err
 	}
-	linSys, err := core.NewSystem(sys.Stimulus, sys.Golden, lin, sys.Capture)
+	linSys, err := core.NewSystem(sys.Stimulus, sys.CUT, lin, sys.Capture)
 	if err != nil {
 		return nil, err
 	}
@@ -164,8 +168,11 @@ func RunAblCounter(sys *core.System, shift float64, bits []int, clocks []float64
 	if err != nil {
 		return nil, err
 	}
-	p := sys.Golden.WithF0Shift(shift)
-	exactSig, err := sys.ExactSignature(p)
+	cut, err := sys.Shifted(shift)
+	if err != nil {
+		return nil, err
+	}
+	exactSig, err := sys.ExactSignature(cut)
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +180,7 @@ func RunAblCounter(sys *core.System, shift float64, bits []int, clocks []float64
 	if err != nil {
 		return nil, err
 	}
-	cls, err := sys.Classifier(p, 0, nil)
+	cls, err := sys.Classifier(cut, 0, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -231,7 +238,11 @@ func RunAblRegression(sys *core.System, trainDevs, testDevs []float64) (*AblRegr
 	mkSigs := func(devs []float64) ([]*signature.Signature, error) {
 		out := make([]*signature.Signature, len(devs))
 		for i, d := range devs {
-			s, err := sys.ExactSignature(sys.Golden.WithF0Shift(d))
+			cut, err := sys.Shifted(d)
+			if err != nil {
+				return nil, err
+			}
+			s, err := sys.ExactSignature(cut)
 			if err != nil {
 				return nil, err
 			}

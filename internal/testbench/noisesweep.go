@@ -38,11 +38,16 @@ func RunNoiseSweepWorkers(sys *core.System, sigmas, devGrid []float64, trials in
 		sigma := sigma
 		// measure runs the averaged-NDF trials at one deviation; the
 		// per-trial streams are pre-derived serially so fan-out preserves
-		// the Split order.
+		// the Split order. The shifted CUT is built once and shared by
+		// the trials (backends are safe for concurrent Output use).
 		measure := func(shift float64, streams []*rng.Stream) ([]float64, error) {
+			cut, err := sys.Shifted(shift)
+			if err != nil {
+				return nil, err
+			}
 			return campaign.Run(eng, len(streams), func(i int) (float64, error) {
 				// The outer pool owns the parallelism: periods run serially.
-				return sys.AveragedNDFWorkers(sys.Golden.WithF0Shift(shift), sigma, streams[i], periods, 1)
+				return sys.AveragedNDFWorkers(cut, sigma, streams[i], periods, 1)
 			})
 		}
 		streams := make([]*rng.Stream, trials)

@@ -36,12 +36,12 @@ func RunSelfTest(sys *core.System, dec ndf.Decision) (*SelfTest, error) {
 			if err != nil {
 				return nil, err
 			}
-			broken, err := core.NewSystem(sys.Stimulus, sys.Golden, bank, sys.Capture)
+			broken, err := core.NewSystem(sys.Stimulus, sys.CUT, bank, sys.Capture)
 			if err != nil {
 				return nil, err
 			}
 			broken.Observe = sys.Observe
-			obs, err := broken.ExactSignature(sys.Golden)
+			obs, err := broken.ExactSignature(sys.CUT)
 			if err != nil {
 				return nil, err
 			}

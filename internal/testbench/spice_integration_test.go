@@ -26,22 +26,26 @@ func TestSpiceBankEndToEnd(t *testing.T) {
 	ref := core.Default()
 	capCfg := signature.CaptureConfig{ClockHz: 1e6, CounterBits: 16}
 
-	spiceSys, err := core.NewSystem(ref.Stimulus, ref.Golden, spiceBank, capCfg)
+	spiceSys, err := core.NewSystem(ref.Stimulus, ref.CUT, spiceBank, capCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	anaSys, err := core.NewSystem(ref.Stimulus, ref.Golden, ref.Bank, capCfg)
+	anaSys, err := core.NewSystem(ref.Stimulus, ref.CUT, ref.Bank, capCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	ndfOf := func(sys *core.System) float64 {
 		t.Helper()
-		g, err := sys.CapturedSignature(sys.Golden, 0, nil)
+		g, err := sys.CapturedSignature(sys.CUT, 0, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		d, err := sys.CapturedSignature(sys.Golden.WithF0Shift(0.10), 0, nil)
+		cut, err := sys.Shifted(0.10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := sys.CapturedSignature(cut, 0, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

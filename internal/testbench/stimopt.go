@@ -44,7 +44,7 @@ func RunStimOpt(sys *core.System, shift float64, gridN int) (*StimOpt, error) {
 		if err != nil {
 			return 0, err
 		}
-		trial, err := core.NewSystem(stim, sys.Golden, sys.Bank, sys.Capture)
+		trial, err := core.NewSystem(stim, sys.CUT, sys.Bank, sys.Capture)
 		if err != nil {
 			return 0, err
 		}

@@ -40,12 +40,12 @@ func RunTempDrift(sys *core.System, tempsK []float64) (*TempDrift, error) {
 		if err != nil {
 			return nil, err
 		}
-		hotSys, err := core.NewSystem(sys.Stimulus, sys.Golden, bank, sys.Capture)
+		hotSys, err := core.NewSystem(sys.Stimulus, sys.CUT, bank, sys.Capture)
 		if err != nil {
 			return nil, err
 		}
 		hotSys.Observe = sys.Observe
-		obs, err := hotSys.ExactSignature(sys.Golden)
+		obs, err := hotSys.ExactSignature(sys.CUT)
 		if err != nil {
 			return nil, err
 		}
@@ -108,7 +108,7 @@ func RunAblSpectral(sys *core.System, trainDevs, testDevs []float64) (*AblSpectr
 	// Spectral features: amplitudes of the three stimulus tones in the
 	// CUT output, sampled over one period.
 	feat := func(dev float64) ([]float64, error) {
-		f, err := biquad.New(sys.Golden.WithF0Shift(dev))
+		f, err := biquad.New(sys.Golden().WithF0Shift(dev))
 		if err != nil {
 			return nil, err
 		}

@@ -24,11 +24,15 @@ type Fig1 struct {
 
 // RunFig1 samples both curves with n points per period.
 func RunFig1(sys *core.System, shift float64, n int) (*Fig1, error) {
-	g, err := sys.Lissajous(sys.Golden)
+	g, err := sys.Lissajous(sys.CUT)
 	if err != nil {
 		return nil, err
 	}
-	d, err := sys.Lissajous(sys.Golden.WithF0Shift(shift))
+	dev, err := sys.Shifted(shift)
+	if err != nil {
+		return nil, err
+	}
+	d, err := sys.Lissajous(dev)
 	if err != nil {
 		return nil, err
 	}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/biquad"
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/ndf"
@@ -43,11 +42,11 @@ func CalibrateMultiParam(sys *core.System, tol float64) (ndf.Decision, error) {
 	for _, sf := range []float64{-1, 1} {
 		for _, sq := range []float64{-1, 1} {
 			for _, sg := range []float64{-1, 1} {
-				p := sys.Golden
-				p.F0 *= 1 + sf*tol
-				p.Q *= 1 + sq*2*tol
-				p.Gain *= 1 + sg*tol
-				v, err := sys.NDFOfParams(p)
+				v, err := sys.NDFOfDeviation(core.Deviation{
+					F0Shift:   sf * tol,
+					QShift:    sq * 2 * tol,
+					GainShift: sg * tol,
+				})
 				if err != nil {
 					return ndf.Decision{}, err
 				}
@@ -66,13 +65,10 @@ func CalibrateMultiParam(sys *core.System, tol float64) (ndf.Decision, error) {
 // serially from the seed, so the scores are bit-identical at any worker
 // count.
 func RunYield(sys *core.System, dec ndf.Decision, n int, componentSigma, tol float64, seed uint64) (*Yield, error) {
-	golden, err := biquad.DesignTowThomas(sys.Golden, 1e-9)
-	if err != nil {
-		return nil, err
-	}
 	if _, err := sys.GoldenSignature(); err != nil {
 		return nil, err
 	}
+	golden := sys.Golden()
 	src := rng.New(seed)
 	streams := make([]*rng.Stream, n)
 	for i := range streams {
@@ -82,22 +78,26 @@ func RunYield(sys *core.System, dec ndf.Decision, n int, componentSigma, tol flo
 	verdicts, err := campaign.Run(campaign.Engine{}, n,
 		func(i int) (verdict, error) {
 			s := streams[i]
-			comps := golden
-			comps.R *= 1 + s.Gauss(0, componentSigma)
-			comps.RQ *= 1 + s.Gauss(0, componentSigma)
-			comps.RG *= 1 + s.Gauss(0, componentSigma)
-			comps.C *= 1 + s.Gauss(0, componentSigma)
-			p, err := comps.Params()
+			// Per-die component tolerances, injected at realization level
+			// through the backend (the draw order is part of the
+			// bit-reproducibility contract).
+			cut, err := sys.Deviated(core.Deviation{
+				RDrift:  s.Gauss(0, componentSigma),
+				RQDrift: s.Gauss(0, componentSigma),
+				RGDrift: s.Gauss(0, componentSigma),
+				CDrift:  s.Gauss(0, componentSigma),
+			})
 			if err != nil {
 				return verdict{}, err
 			}
+			p := cut.Params()
 			inBand := func(val, nom, frac float64) bool {
 				return val >= nom*(1-frac) && val <= nom*(1+frac)
 			}
-			truthGood := inBand(p.F0, sys.Golden.F0, tol) &&
-				inBand(p.Q, sys.Golden.Q, 2*tol) &&
-				inBand(p.Gain, sys.Golden.Gain, tol)
-			v, err := sys.NDFOfParams(p)
+			truthGood := inBand(p.F0, golden.F0, tol) &&
+				inBand(p.Q, golden.Q, 2*tol) &&
+				inBand(p.Gain, golden.Gain, tol)
+			v, err := sys.NDFOf(cut)
 			if err != nil {
 				return verdict{}, err
 			}

@@ -260,6 +260,52 @@ func (p *PWL) Eval(t float64) float64 {
 // Period implements Waveform.
 func (p *PWL) Period() float64 { return p.RepeatEvery }
 
+// Sampled is a periodic waveform defined by n uniform samples over one
+// period — sample i sits at phase i·period/n and the segment from the
+// last sample wraps back to the first. Eval interpolates linearly with
+// wraparound. It is how a numerically simulated steady-state output
+// (e.g. a SPICE transient period) re-enters the continuous-time
+// signal-path as a first-class Waveform.
+type Sampled struct {
+	v      []float64
+	period float64
+}
+
+// NewSampled builds a periodic sampled waveform; the samples are copied.
+func NewSampled(samples []float64, period float64) (*Sampled, error) {
+	if len(samples) < 2 {
+		return nil, fmt.Errorf("wave: sampled waveform needs >= 2 samples, got %d", len(samples))
+	}
+	if period <= 0 || math.IsInf(period, 0) || math.IsNaN(period) {
+		return nil, fmt.Errorf("wave: sampled waveform period %g must be positive and finite", period)
+	}
+	return &Sampled{v: append([]float64(nil), samples...), period: period}, nil
+}
+
+// Eval implements Waveform by linear interpolation between the two
+// neighbouring samples, wrapping modulo the period.
+func (s *Sampled) Eval(t float64) float64 {
+	n := len(s.v)
+	u := math.Mod(t, s.period)
+	if u < 0 {
+		u += s.period
+	}
+	x := u / s.period * float64(n)
+	i := int(x)
+	if i >= n { // guards the u == period rounding corner
+		i = n - 1
+	}
+	frac := x - float64(i)
+	j := i + 1
+	if j >= n {
+		j = 0
+	}
+	return s.v[i] + (s.v[j]-s.v[i])*frac
+}
+
+// Period implements Waveform.
+func (s *Sampled) Period() float64 { return s.period }
+
 // Record is a uniformly sampled waveform segment.
 type Record struct {
 	T  []float64 // sample times (s)

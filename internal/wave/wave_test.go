@@ -287,3 +287,47 @@ func TestPWLDrivesTransient(t *testing.T) {
 		t.Fatal("ramp should hold at 1")
 	}
 }
+
+func TestSampledPeriodicInterpolation(t *testing.T) {
+	// Four samples of one period: 0, 1, 0, -1 (a coarse sine).
+	s, err := NewSampled([]float64{0, 1, 0, -1}, 4e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Period() != 4e-3 {
+		t.Fatalf("period = %v", s.Period())
+	}
+	cases := []struct{ t, want float64 }{
+		{0, 0},
+		{1e-3, 1},
+		{0.5e-3, 0.5},  // midway between samples 0 and 1
+		{3.5e-3, -0.5}, // wrap segment: last sample back toward the first
+		{4e-3, 0},      // exactly one period wraps to phase 0
+		{5e-3, 1},      // periodicity
+		{-3e-3, 1},     // negative time wraps too
+	}
+	for _, c := range cases {
+		if got := s.Eval(c.t); got != c.want {
+			t.Fatalf("Eval(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestSampledValidation(t *testing.T) {
+	if _, err := NewSampled([]float64{1}, 1); err == nil {
+		t.Fatal("single sample accepted")
+	}
+	if _, err := NewSampled([]float64{1, 2}, 0); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	// The input slice is copied: mutating it must not affect the waveform.
+	v := []float64{0, 1}
+	s, err := NewSampled(v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v[0] = 99
+	if s.Eval(0) != 0 {
+		t.Fatal("samples not copied")
+	}
+}
