@@ -7,7 +7,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: ci fmt vet build test race bench bench-smoke
+.PHONY: ci fmt vet build test race bench bench-json bench-smoke
 
 ci: fmt vet build race bench-smoke
 
@@ -36,8 +36,15 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
-# Smoke gate: single-iteration run of the SPICE transient and
-# SPICE-campaign benchmarks (fast path, Newton baseline, CUT output,
-# fault table) — proves the hot paths still execute end to end.
+# Perf trajectory snapshot: the full benchmark suite in `go test -json`
+# event form (benchstat reads it directly: `benchstat BENCH_3.json`).
+# Bump the file name per PR so the trajectory accumulates.
+bench-json:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ -json . > BENCH_3.json
+
+# Smoke gate: single-iteration run of the SPICE transient, the
+# SPICE-campaign and the batched-signature-engine benchmarks (fast path,
+# Newton baseline, CUT output, fault table, batched vs scalar capture)
+# — proves the hot paths still execute end to end.
 bench-smoke:
-	$(GO) test -bench='TransientTowThomas|SpiceCUT|FaultTableSpice' -benchtime=1x -run=^$$ .
+	$(GO) test -bench='TransientTowThomas|SpiceCUT|FaultTableSpice|SignatureCapture|AveragedNDF|BankClassify' -benchtime=1x -run=^$$ .

@@ -373,6 +373,92 @@ func BenchmarkBankClassify(b *testing.B) {
 	}
 }
 
+// BANK-BATCH: the certified zone LUT classifying the same random points
+// in one call (compare per-point cost against BenchmarkBankClassify).
+func BenchmarkBankClassifyBatch(b *testing.B) {
+	bank := monitor.NewAnalyticTableI()
+	src := rng.New(1)
+	xs := make([]float64, 1024)
+	ys := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = src.Float64()
+		ys[i] = src.Float64()
+	}
+	codes := make([]monitor.Code, len(xs))
+	bank.ClassifyBatch(xs, ys, codes) // build the LUT before timing
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bank.ClassifyBatch(xs, ys, codes)
+	}
+}
+
+// SIG-BATCH: the batched tick-grid capture (cached stimulus grid, batch
+// output evaluation, zone-LUT classification, codes-slice walk) — the
+// per-period unit of every campaign. Compare against
+// BenchmarkSignatureCaptureScalar, the retained per-tick baseline.
+func BenchmarkSignatureCaptureBatched(b *testing.B) {
+	benchmarkSignatureCaptureEngine(b, false)
+}
+
+// SIG-SCALAR: the retained scalar per-tick capture pipeline (the
+// pre-batching engine, kept as the certification baseline).
+func BenchmarkSignatureCaptureScalar(b *testing.B) {
+	benchmarkSignatureCaptureEngine(b, true)
+}
+
+func benchmarkSignatureCaptureEngine(b *testing.B, scalar bool) {
+	sys := core.Default()
+	sys.Scalar = scalar
+	cut, err := sys.Shifted(0.10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := core.NewTrialScratch()
+	if _, err := sys.CapturedSignatureScratch(cut, 0, nil, sc); err != nil {
+		b.Fatal(err) // also warms the LUT and grid caches
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.CapturedSignatureScratch(cut, 0, nil, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// NDF-AVG-BATCH / NDF-AVG-SCALAR: the noisy averaged-NDF measurement —
+// the per-trial unit of the noise detection, resolution and yield
+// campaigns — on the batched and on the retained scalar engine.
+func BenchmarkAveragedNDFBatched(b *testing.B) {
+	benchmarkAveragedNDFEngine(b, false)
+}
+
+func BenchmarkAveragedNDFScalar(b *testing.B) {
+	benchmarkAveragedNDFEngine(b, true)
+}
+
+func benchmarkAveragedNDFEngine(b *testing.B, scalar bool) {
+	sys := core.Default()
+	sys.Scalar = scalar
+	cut, err := sys.Shifted(0.02)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := core.NewTrialScratch()
+	src := rng.New(3)
+	if _, err := sys.AveragedNDFScratch(cut, 0.005, src.Split(0), 1, sc); err != nil {
+		b.Fatal(err) // warm caches outside the timing loop
+	}
+	var v float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err = sys.AveragedNDFScratch(cut, 0.005, src.Split(uint64(i)), 4, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(v, "NDF")
+}
+
 func BenchmarkSpiceMonitorBit(b *testing.B) {
 	sm, err := monitor.NewSpice(monitor.TableI()[2], nil)
 	if err != nil {

@@ -15,6 +15,9 @@
 //
 // Dies and faults fan out across the campaign worker pool (-workers 0 =
 // all CPUs); the output is bit-identical at any worker count.
+//
+// -cpuprofile and -memprofile write pprof profiles of the campaign for
+// `go tool pprof`, so hot spots can be inspected without editing code.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/monitor"
 	"repro/internal/mos"
+	"repro/internal/prof"
 	"repro/internal/rng"
 	"repro/internal/stat"
 	"repro/internal/testbench"
@@ -42,23 +46,26 @@ func main() {
 		backend = flag.String("backend", "", "run the fault-table campaign on a CUT backend: analytic or spice")
 		tol     = flag.Float64("tol", 0.05, "calibration tolerance for the fault campaign")
 	)
+	profiler := prof.FlagVars(nil)
 	flag.Parse()
-	var err error
-	if *backend != "" {
+	err := profiler.Around(func() error {
+		if *backend == "" {
+			return run(*monIdx, *dies, *x, *seed, *workers)
+		}
 		// The fault campaign ignores the monitor-study knobs; reject the
 		// conflicting combination instead of silently dropping them.
+		var conflict error
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "monitor", "dies", "x", "seed":
-				err = fmt.Errorf("-%s applies to the monitor study and conflicts with -backend", f.Name)
+				conflict = fmt.Errorf("-%s applies to the monitor study and conflicts with -backend", f.Name)
 			}
 		})
-		if err == nil {
-			err = runFaults(*backend, *tol, *workers)
+		if conflict != nil {
+			return conflict
 		}
-	} else {
-		err = run(*monIdx, *dies, *x, *seed, *workers)
-	}
+		return runFaults(*backend, *tol, *workers)
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcmon:", err)
 		os.Exit(1)

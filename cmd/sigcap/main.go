@@ -10,6 +10,7 @@
 //	sigcap -in sig.bin              # re-score a stored signature
 //	sigcap -shift 0.10 -json out.json
 //	sigcap -shift 0.10 -backend spice   # capture from the SPICE netlist engine
+//	sigcap -shift 0.10 -cpuprofile cpu.out  # profile the capture path
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ndf"
+	"repro/internal/prof"
 	"repro/internal/rng"
 	"repro/internal/signature"
 )
@@ -36,8 +38,12 @@ func main() {
 		in      = flag.String("in", "", "score a stored binary signature instead of capturing")
 		backend = flag.String("backend", "analytic", "CUT backend: analytic or spice")
 	)
+	profiler := prof.FlagVars(nil)
 	flag.Parse()
-	if err := run(*shift, *sigma, *clock, *bits, *seed, *out, *jsonOut, *in, *backend); err != nil {
+	err := profiler.Around(func() error {
+		return run(*shift, *sigma, *clock, *bits, *seed, *out, *jsonOut, *in, *backend)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sigcap:", err)
 		os.Exit(1)
 	}

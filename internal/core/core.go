@@ -88,10 +88,100 @@ type System struct {
 	// Observe selects the monitored CUT output (default: low-pass).
 	// Set before first use; the golden signature is cached per system.
 	Observe Observation
+	// Scalar disables the batched tick-grid signature engine and runs
+	// the retained per-tick scalar pipeline — the reference baseline the
+	// batched engine is benchmarked and regression-tested against.
+	// Results are bit-identical either way (the zone LUT only answers
+	// where it can prove the scalar result). Set before first use.
+	Scalar bool
 
 	goldenOnce sync.Once
 	goldenSig  *signature.Signature
 	goldenErr  error
+
+	// Cached sample grids of the (immutable) stimulus: the capture's
+	// master-clock tick grid and the exact-extraction scan grid. Built
+	// once per system and shared read-only across trials and workers.
+	tickGrid gridCache
+	scanGrid gridCache
+}
+
+// gridCache lazily holds a time grid and the stimulus samples on it.
+type gridCache struct {
+	once   sync.Once
+	ts, xs []float64
+	err    error
+}
+
+// ticks returns the master-clock tick grid (t_k = k/ClockHz over one
+// period) and the stimulus samples on it, computing both once.
+func (s *System) ticks() (ts, xs []float64, err error) {
+	g := &s.tickGrid
+	g.once.Do(func() {
+		n, err := s.Capture.Ticks(s.Period())
+		if err != nil {
+			g.err = err
+			return
+		}
+		tick := 1 / s.Capture.ClockHz
+		g.ts = make([]float64, n)
+		for k := range g.ts {
+			g.ts[k] = float64(k) * tick
+		}
+		g.xs = make([]float64, n)
+		wave.EvalInto(s.Stimulus, g.ts, g.xs)
+	})
+	return g.ts, g.xs, g.err
+}
+
+// scans returns the exact-extraction scan grid (t_i = T·i/ScanN,
+// i = 0 … ScanN) and the stimulus samples on it, computing both once.
+func (s *System) scans() (ts, xs []float64, err error) {
+	g := &s.scanGrid
+	g.once.Do(func() {
+		if s.ScanN < 2 {
+			g.err = fmt.Errorf("signature: need at least 2 scan points")
+			return
+		}
+		T := s.Period()
+		g.ts = make([]float64, s.ScanN+1)
+		for i := range g.ts {
+			g.ts[i] = T * float64(i) / float64(s.ScanN)
+		}
+		g.xs = make([]float64, len(g.ts))
+		wave.EvalInto(s.Stimulus, g.ts, g.xs)
+	})
+	return g.ts, g.xs, g.err
+}
+
+// TrialScratch bundles the per-worker reusable buffers of the batched
+// signature engine: perturbed sample grids plus the capture scratch
+// (raw entries, canonical entries, per-tick codes). One scratch per
+// campaign worker; not safe for concurrent use.
+type TrialScratch struct {
+	capture signature.CaptureBuffer
+	xs, ys  []float64
+}
+
+// NewTrialScratch returns an empty scratch; buffers grow on first use.
+func NewTrialScratch() *TrialScratch { return &TrialScratch{} }
+
+// growXs returns the x-sample scratch resized to n (contents undefined).
+func (sc *TrialScratch) growXs(n int) []float64 {
+	if cap(sc.xs) < n {
+		sc.xs = make([]float64, n)
+	}
+	sc.xs = sc.xs[:n]
+	return sc.xs
+}
+
+// growYs returns the y-sample scratch resized to n (contents undefined).
+func (sc *TrialScratch) growYs(n int) []float64 {
+	if cap(sc.ys) < n {
+		sc.ys = make([]float64, n)
+	}
+	sc.ys = sc.ys[:n]
+	return sc.ys
 }
 
 // goldenParams is the paper's reference CUT.
@@ -244,30 +334,132 @@ func (s *System) Classifier(c CUT, sigma float64, noise *rng.Stream) (signature.
 	}, nil
 }
 
+// ClassifyGrid is the batch variant of Classifier: it fills codes[i]
+// with the zone code of CUT c at time ts[i]. Outputs are evaluated
+// through the waveform batch API and codes come from the bank's
+// certified zone LUT, but the result is bit-identical to calling the
+// scalar Classifier at the same times in order — measurement noise
+// (sigma > 0 with a non-nil stream) is drawn in sample order, x before
+// y, exactly as the scalar closure draws it.
+func (s *System) ClassifyGrid(c CUT, sigma float64, noise *rng.Stream, ts []float64, codes []monitor.Code) error {
+	if len(ts) != len(codes) {
+		return fmt.Errorf("core: ClassifyGrid needs len(ts) == len(codes)")
+	}
+	out, err := s.output(c)
+	if err != nil {
+		return err
+	}
+	sc := NewTrialScratch()
+	xs := sc.growXs(len(ts))
+	wave.EvalInto(s.Stimulus, ts, xs)
+	ys := sc.growYs(len(ts))
+	wave.EvalInto(out, ts, ys)
+	if sigma > 0 && noise != nil {
+		eff := EffectiveNoiseSigma(sigma)
+		for k := range xs {
+			xs[k] += noise.Gauss(0, eff)
+			ys[k] += noise.Gauss(0, eff)
+		}
+	}
+	s.Bank.ClassifyBatch(xs, ys, codes)
+	return nil
+}
+
 // ExactSignature computes the ideal (unquantized, noiseless) signature
 // of a CUT.
 func (s *System) ExactSignature(c CUT) (*signature.Signature, error) {
-	cls, err := s.Classifier(c, 0, nil)
+	return s.exactSignature(c, nil)
+}
+
+// exactSignature is ExactSignature with optional per-worker scratch. The
+// batched path classifies the scan grid through the zone LUT and only
+// bisects the bracketed transitions with the exact classifier, so the
+// result is bit-identical to the scalar scan.
+func (s *System) exactSignature(c CUT, sc *TrialScratch) (*signature.Signature, error) {
+	out, err := s.output(c)
 	if err != nil {
 		return nil, err
 	}
-	return signature.Exact(cls, s.Period(), s.ScanN, 0)
+	cls := func(t float64) monitor.Code {
+		return s.Bank.Classify(s.Stimulus.Eval(t), out.Eval(t))
+	}
+	if s.Scalar {
+		return signature.Exact(cls, s.Period(), s.ScanN, 0)
+	}
+	ts, xs, err := s.scans()
+	if err != nil {
+		return nil, err
+	}
+	if sc == nil {
+		sc = NewTrialScratch()
+	}
+	ys := sc.growYs(len(ts))
+	wave.EvalInto(out, ts, ys)
+	codes := sc.capture.Codes(len(ts))
+	s.Bank.ClassifyBatch(xs, ys, codes)
+	return signature.ExactFromCodes(codes, cls, s.Period(), 0)
 }
 
 // CapturedSignature runs the Fig. 5 clocked capture for a CUT,
-// optionally with measurement noise.
+// optionally with measurement noise. The caller owns the result.
 func (s *System) CapturedSignature(c CUT, sigma float64, noise *rng.Stream) (*signature.Signature, error) {
 	return s.capturedSignature(c, sigma, noise, nil)
 }
 
-// capturedSignature is CapturedSignature with reusable capture scratch
-// for Monte-Carlo trial loops (one buffer per campaign worker).
-func (s *System) capturedSignature(c CUT, sigma float64, noise *rng.Stream, buf *signature.CaptureBuffer) (*signature.Signature, error) {
-	cls, err := s.Classifier(c, sigma, noise)
+// CapturedSignatureScratch is CapturedSignature with caller-owned
+// per-worker scratch for Monte-Carlo trial loops. The returned signature
+// is backed by the scratch and is only valid until the scratch's next
+// capture — consume it (e.g. compute its NDF) before the next trial.
+func (s *System) CapturedSignatureScratch(c CUT, sigma float64, noise *rng.Stream, sc *TrialScratch) (*signature.Signature, error) {
+	return s.capturedSignature(c, sigma, noise, sc)
+}
+
+// capturedSignature implements the capture paths: the batched tick-grid
+// engine (cached stimulus grid, batch output evaluation, zone-LUT
+// classification, codes-slice capture) or — when s.Scalar is set — the
+// per-tick scalar pipeline. Both produce bit-identical signatures; a nil
+// sc degrades to one-shot scratch with a caller-owned result.
+func (s *System) capturedSignature(c CUT, sigma float64, noise *rng.Stream, sc *TrialScratch) (*signature.Signature, error) {
+	if s.Scalar {
+		cls, err := s.Classifier(c, sigma, noise)
+		if err != nil {
+			return nil, err
+		}
+		var buf *signature.CaptureBuffer
+		if sc != nil {
+			buf = &sc.capture
+		}
+		return signature.CaptureCanonical(cls, s.Period(), s.Capture, buf)
+	}
+	out, err := s.output(c)
 	if err != nil {
 		return nil, err
 	}
-	return signature.CaptureCanonical(cls, s.Period(), s.Capture, buf)
+	ts, xs, err := s.ticks()
+	if err != nil {
+		return nil, err
+	}
+	var buf *signature.CaptureBuffer
+	if sc == nil {
+		sc = NewTrialScratch()
+	} else {
+		buf = &sc.capture
+	}
+	n := len(ts)
+	ys := sc.growYs(n)
+	wave.EvalInto(out, ts, ys)
+	xv := xs
+	if sigma > 0 && noise != nil {
+		eff := EffectiveNoiseSigma(sigma)
+		xv = sc.growXs(n)
+		for k := 0; k < n; k++ {
+			xv[k] = xs[k] + noise.Gauss(0, eff)
+			ys[k] += noise.Gauss(0, eff)
+		}
+	}
+	codes := sc.capture.Codes(n)
+	s.Bank.ClassifyBatch(xv, ys, codes)
+	return signature.CaptureCanonicalCodes(codes, s.Period(), s.Capture, buf)
 }
 
 // GoldenSignature returns the (cached) exact signature of the golden CUT.
@@ -282,11 +474,18 @@ func (s *System) GoldenSignature() (*signature.Signature, error) {
 // signature — the general entry point the Q-verification and
 // component-fault experiments use.
 func (s *System) NDFOf(c CUT) (float64, error) {
+	return s.NDFOfScratch(c, nil)
+}
+
+// NDFOfScratch is NDFOf with per-worker scratch for campaign fan-out
+// (fault tables, yield populations); a nil scratch degrades to one-shot
+// buffers. Scratch never affects the result.
+func (s *System) NDFOfScratch(c CUT, sc *TrialScratch) (float64, error) {
 	g, err := s.GoldenSignature()
 	if err != nil {
 		return 0, err
 	}
-	obs, err := s.ExactSignature(c)
+	obs, err := s.exactSignature(c, sc)
 	if err != nil {
 		return 0, err
 	}
@@ -323,9 +522,14 @@ func (s *System) SweepF0Workers(shifts []float64, workers int) ([]float64, error
 	if _, err := s.GoldenSignature(); err != nil {
 		return nil, err
 	}
-	return campaign.Run(campaign.Engine{Workers: workers}, len(shifts),
-		func(i int) (float64, error) {
-			v, err := s.NDFOfShift(shifts[i])
+	return campaign.RunScratch(campaign.Engine{Workers: workers}, len(shifts),
+		NewTrialScratch,
+		func(i int, sc *TrialScratch) (float64, error) {
+			c, err := s.Shifted(shifts[i])
+			if err != nil {
+				return 0, fmt.Errorf("core: sweep point %g: %w", shifts[i], err)
+			}
+			v, err := s.NDFOfScratch(c, sc)
 			if err != nil {
 				return 0, fmt.Errorf("core: sweep point %g: %w", shifts[i], err)
 			}
@@ -349,8 +553,26 @@ func (s *System) AveragedNDF(c CUT, sigma float64, noise *rng.Stream, periods in
 
 // AveragedNDFWorkers is AveragedNDF with an explicit worker-pool bound
 // (0 = all CPUs). Campaign runners that already fan trials out pass 1 so
-// the outer pool alone owns the parallelism.
+// the outer pool alone owns the parallelism (or, better, carry a
+// per-worker scratch and call AveragedNDFScratch).
 func (s *System) AveragedNDFWorkers(c CUT, sigma float64, noise *rng.Stream, periods, workers int) (float64, error) {
+	return s.averagedNDF(c, sigma, noise, periods, workers, nil)
+}
+
+// AveragedNDFScratch is AveragedNDF running the periods serially with
+// caller-owned scratch — the form campaign runners use inside their own
+// worker pools, so every trial a worker executes reuses one set of
+// buffers. Scratch never affects the result.
+func (s *System) AveragedNDFScratch(c CUT, sigma float64, noise *rng.Stream, periods int, sc *TrialScratch) (float64, error) {
+	return s.averagedNDF(c, sigma, noise, periods, 1, sc)
+}
+
+// averagedNDF implements the AveragedNDF variants. In the batched engine
+// the clean output tick samples are evaluated once per call and shared
+// read-only by every period's capture (each period only adds its own
+// noise draws on top), which is where most of the per-period work of the
+// scalar pipeline went.
+func (s *System) averagedNDF(c CUT, sigma float64, noise *rng.Stream, periods, workers int, sc *TrialScratch) (float64, error) {
 	if periods < 1 {
 		periods = 1
 	}
@@ -361,7 +583,8 @@ func (s *System) AveragedNDFWorkers(c CUT, sigma float64, noise *rng.Stream, per
 	// Materialize the observed output once before fan-out: backends with
 	// an expensive Output (the SPICE transient) compute it here instead
 	// of inside every period's capture.
-	if _, err := s.output(c); err != nil {
+	out, err := s.output(c)
+	if err != nil {
 		return 0, err
 	}
 	// Split advances the caller's stream — derive the per-period streams
@@ -372,15 +595,50 @@ func (s *System) AveragedNDFWorkers(c CUT, sigma float64, noise *rng.Stream, per
 			streams[k] = noise.Split(uint64(k))
 		}
 	}
-	vals, err := campaign.RunScratch(campaign.Engine{Workers: workers}, periods,
-		func() *signature.CaptureBuffer { return &signature.CaptureBuffer{} },
-		func(k int, buf *signature.CaptureBuffer) (float64, error) {
-			obs, err := s.capturedSignature(c, sigma, streams[k], buf)
+	newScratch := NewTrialScratch
+	if sc != nil {
+		// Caller-owned scratch: the periods must run on one worker.
+		workers = 1
+		newScratch = func() *TrialScratch { return sc }
+	}
+	var trial func(k int, sc *TrialScratch) (float64, error)
+	if s.Scalar {
+		trial = func(k int, sc *TrialScratch) (float64, error) {
+			obs, err := s.capturedSignature(c, sigma, streams[k], sc)
 			if err != nil {
 				return 0, err
 			}
 			return ndf.NDF(obs, g)
-		})
+		}
+	} else {
+		ts, xs, err := s.ticks()
+		if err != nil {
+			return 0, err
+		}
+		ybase := make([]float64, len(ts))
+		wave.EvalInto(out, ts, ybase)
+		eff := EffectiveNoiseSigma(sigma)
+		trial = func(k int, sc *TrialScratch) (float64, error) {
+			xv, yv := xs, ybase
+			if sigma > 0 && streams[k] != nil {
+				src := streams[k]
+				n := len(ts)
+				xv, yv = sc.growXs(n), sc.growYs(n)
+				for i := 0; i < n; i++ {
+					xv[i] = xs[i] + src.Gauss(0, eff)
+					yv[i] = ybase[i] + src.Gauss(0, eff)
+				}
+			}
+			codes := sc.capture.Codes(len(xv))
+			s.Bank.ClassifyBatch(xv, yv, codes)
+			obs, err := signature.CaptureCanonicalCodes(codes, s.Period(), s.Capture, &sc.capture)
+			if err != nil {
+				return 0, err
+			}
+			return ndf.NDF(obs, g)
+		}
+	}
+	vals, err := campaign.RunScratch(campaign.Engine{Workers: workers}, periods, newScratch, trial)
 	if err != nil {
 		return 0, err
 	}

@@ -41,8 +41,11 @@ func (c Code) StringN(n int) string {
 }
 
 // Bank is an ordered set of monitors producing a zone code per (x, y).
+// Classify answers one point exactly; ClassifyBatch answers sample grids
+// through the certified zone LUT (see lut.go) with bit-identical results.
 type Bank struct {
 	monitors []Monitor
+	lutState
 }
 
 // NewBank creates a bank from monitors; order fixes bit positions.

@@ -1,0 +1,222 @@
+package monitor
+
+import "sync"
+
+// The batched classifier: Bank.ClassifyBatch answers per-point zone
+// codes from a precomputed grid — the certified zone LUT — and falls
+// back to the exact scalar Classify wherever the table cannot *prove*
+// the answer, so the batch API is bit-identical to the scalar one,
+// point for point.
+//
+// # Certification argument
+//
+// Each analytic monitor's bit is the sign of its balance function
+// Balance(x, y) = Σ_left IDSat(V_i) − Σ_right IDSat(V_i), where every
+// input voltage V_i is x, y, or a DC constant. IDSat is nondecreasing in
+// V_GS (it is 0.5·β·v_eff² with v_eff a nonnegative, nondecreasing
+// softplus), so whenever all the inputs a given axis drives sit in one
+// branch — true for every Table I configuration — Balance is monotone in
+// x and monotone in y. A function monotone in each variable separately
+// attains its extrema over an axis-aligned cell at the cell's corners;
+// therefore, if the four corner balances of a cell share a strict sign,
+// that sign — and hence the monitor's bit — holds over the entire closed
+// cell. A cell where every monitor is sign-constant classifies to a
+// single provable code.
+//
+// Two guards keep the proof airtight in floating point:
+//
+//   - corners must clear a margin (lutMarginA) far below any physical
+//     monitor current but far above the ~1e-19 A discontinuity of the
+//     softplus's numeric range switch, so the monotonicity argument
+//     survives the implementation's branch boundaries;
+//   - the grid spans [0,1)² with a power-of-two cell count, so the cell
+//     index int(x·lutCells) is computed exactly (multiplication by a
+//     power of two is exact in binary64) and a point can never be
+//     attributed to a cell that does not contain it.
+//
+// Cells that straddle a boundary, touch the margin, or lie outside the
+// grid fall back to the exact Balance evaluation. Banks that are not
+// certifiable at all — a transistor-level Spice monitor in the bank, or
+// a drive pattern that mixes one axis across both branches — skip the
+// LUT and classify every point with the scalar path.
+
+const (
+	// lutCells is the zone LUT resolution per axis. Power of two, so the
+	// cell index arithmetic below is exact.
+	lutCells = 256
+	// lutMarginA is the corner-balance magnitude (in amperes) below which
+	// a cell is left uncertified. Monitor branch currents are on the µA
+	// scale; the softplus range-switch discontinuity is below 1e-18 A.
+	lutMarginA = 1e-15
+)
+
+// zoneLUT is one bank's certified classification grid over [0,1)².
+type zoneLUT struct {
+	n     int
+	code  []Code // cell code, row-major [y][x], valid when known
+	known []bool // cell certified: every monitor sign-constant with margin
+}
+
+// lookup returns the certified code of the cell containing (x, y).
+// ok is false outside the grid or in an uncertified cell.
+func (l *zoneLUT) lookup(x, y float64) (Code, bool) {
+	if !(x >= 0 && x < 1 && y >= 0 && y < 1) {
+		return 0, false // outside the grid (or NaN): exact fallback
+	}
+	i := int(x * float64(l.n))
+	j := int(y * float64(l.n))
+	idx := j*l.n + i
+	if !l.known[idx] {
+		return 0, false
+	}
+	return l.code[idx], true
+}
+
+// lutMonotone reports whether this monitor's balance is monotone in each
+// plane axis: every input a given axis drives must sit in a single
+// branch (left M1/M2 or right M3/M4). With IDSat nondecreasing in V_GS
+// this makes Balance monotone in x and in y, which is what lets corner
+// signs certify a whole cell. All six Table I configurations qualify.
+func (a *Analytic) lutMonotone() bool {
+	for _, kind := range []InputKind{DriveX, DriveY} {
+		left, right := false, false
+		for i, in := range a.cfg.Inputs {
+			if in.Kind != kind {
+				continue
+			}
+			if i < 2 {
+				left = true
+			} else {
+				right = true
+			}
+		}
+		if left && right {
+			return false
+		}
+	}
+	return true
+}
+
+// buildLUT constructs the certified zone LUT, or returns nil when the
+// bank is not certifiable (non-analytic monitors, or a drive pattern
+// without per-axis monotonicity).
+func (b *Bank) buildLUT() *zoneLUT {
+	mons := make([]*Analytic, len(b.monitors))
+	for i, m := range b.monitors {
+		a, ok := m.(*Analytic)
+		if !ok || !a.lutMonotone() {
+			return nil
+		}
+		mons[i] = a
+	}
+	n := lutCells
+	l := &zoneLUT{n: n, code: make([]Code, n*n), known: make([]bool, n*n)}
+	for i := range l.known {
+		l.known[i] = true
+	}
+	// Corner balances of one monitor at a time ((n+1)² grid nodes at the
+	// exact cell-edge coordinates i/n), then per-cell sign certification.
+	bal := make([]float64, (n+1)*(n+1))
+	for mi, a := range mons {
+		for j := 0; j <= n; j++ {
+			y := float64(j) / float64(n)
+			for i := 0; i <= n; i++ {
+				bal[j*(n+1)+i] = a.Balance(float64(i)/float64(n), y)
+			}
+		}
+		bit := Code(1) << uint(mi)
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				idx := j*n + i
+				if !l.known[idx] {
+					continue
+				}
+				c00 := bal[j*(n+1)+i]
+				c10 := bal[j*(n+1)+i+1]
+				c01 := bal[(j+1)*(n+1)+i]
+				c11 := bal[(j+1)*(n+1)+i+1]
+				s := signumMargin(c00)
+				if s == 0 || signumMargin(c10) != s || signumMargin(c01) != s || signumMargin(c11) != s {
+					l.known[idx] = false
+					continue
+				}
+				if s != a.refSign {
+					l.code[idx] |= bit
+				}
+			}
+		}
+	}
+	return l
+}
+
+// signumMargin is signum with the certification margin: balances inside
+// ±lutMarginA count as boundary (0) and leave the cell uncertified.
+func signumMargin(v float64) int {
+	switch {
+	case v > lutMarginA:
+		return 1
+	case v < -lutMarginA:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// lut returns the bank's zone LUT, building it once on first use (nil
+// when the bank is not certifiable). Safe for concurrent use.
+func (b *Bank) lut() *zoneLUT {
+	b.lutOnce.Do(func() { b.zlut = b.buildLUT() })
+	return b.zlut
+}
+
+// ClassifyBatch classifies every (xs[i], ys[i]) pair into codes[i]. It
+// is bit-identical to calling Classify point by point: certified LUT
+// cells answer by table lookup, and boundary-straddling, out-of-range or
+// otherwise unprovable points fall back to the exact scalar evaluation.
+// Banks containing non-analytic monitors (e.g. the transistor-level
+// Spice bank) classify every point through the scalar path.
+//
+// The three slices must have equal length. After the one-time LUT
+// construction the call performs no allocations.
+func (b *Bank) ClassifyBatch(xs, ys []float64, codes []Code) {
+	if len(xs) != len(ys) || len(codes) != len(xs) {
+		panic("monitor: ClassifyBatch needs equal-length xs, ys and codes")
+	}
+	l := b.lut()
+	if l == nil {
+		for i := range xs {
+			codes[i] = b.Classify(xs[i], ys[i])
+		}
+		return
+	}
+	for i := range xs {
+		if c, ok := l.lookup(xs[i], ys[i]); ok {
+			codes[i] = c
+		} else {
+			codes[i] = b.Classify(xs[i], ys[i])
+		}
+	}
+}
+
+// BatchInfo reports whether ClassifyBatch runs on a certified zone LUT
+// for this bank and, if so, the fraction of grid cells it certified
+// (the rest fall back to the exact classifier).
+func (b *Bank) BatchInfo() (lutEnabled bool, certifiedFrac float64) {
+	l := b.lut()
+	if l == nil {
+		return false, 0
+	}
+	n := 0
+	for _, k := range l.known {
+		if k {
+			n++
+		}
+	}
+	return true, float64(n) / float64(len(l.known))
+}
+
+// lutState carries the lazily built zone LUT of a bank.
+type lutState struct {
+	lutOnce sync.Once
+	zlut    *zoneLUT
+}

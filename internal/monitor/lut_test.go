@@ -1,0 +1,181 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestClassifyBatchMatchesScalarRandom is the LUT certification property
+// test: on random points — inside the grid, outside [0,1), and far out of
+// range — ClassifyBatch must equal per-point Classify bit for bit.
+func TestClassifyBatchMatchesScalarRandom(t *testing.T) {
+	bank := NewAnalyticTableI()
+	src := rng.New(11)
+	const n = 20000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		switch i % 4 {
+		case 0, 1: // in-grid points, where the LUT answers
+			xs[i] = src.Float64()
+			ys[i] = src.Float64()
+		case 2: // straddle the grid edges
+			xs[i] = -0.1 + 1.2*src.Float64()
+			ys[i] = -0.1 + 1.2*src.Float64()
+		default: // far outside the observed square
+			xs[i] = -2 + 4*src.Float64()
+			ys[i] = -2 + 4*src.Float64()
+		}
+	}
+	codes := make([]Code, n)
+	bank.ClassifyBatch(xs, ys, codes)
+	for i := range xs {
+		if want := bank.Classify(xs[i], ys[i]); codes[i] != want {
+			t.Fatalf("point %d (%.6f, %.6f): batch %06b, scalar %06b",
+				i, xs[i], ys[i], codes[i], want)
+		}
+	}
+}
+
+// TestClassifyBatchBoundaryAndEdgePoints stresses the hard cases: points
+// exactly on monitor boundaries (where the balance is ~0 and the cell
+// must have been left uncertified), exactly on LUT cell edges (i/256),
+// and the corners of the grid.
+func TestClassifyBatchBoundaryAndEdgePoints(t *testing.T) {
+	bank := NewAnalyticTableI()
+	var xs, ys []float64
+	// Monitor-boundary points: bisected boundary crossings of every curve.
+	for _, m := range bank.Monitors() {
+		a := m.(*Analytic)
+		for _, x := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			if y, ok := a.BoundaryY(x, 0, 1); ok {
+				xs = append(xs, x)
+				ys = append(ys, y)
+			}
+		}
+	}
+	// Cell-edge and grid-corner points.
+	for _, i := range []int{0, 1, 127, 128, 255, 256} {
+		v := float64(i) / 256
+		xs = append(xs, v, v, 0.5)
+		ys = append(ys, v, 0.5, v)
+	}
+	// Exactly 1.0 (outside the half-open grid) and negative zero.
+	xs = append(xs, 1.0, math.Copysign(0, -1))
+	ys = append(ys, 1.0, 0.5)
+	codes := make([]Code, len(xs))
+	bank.ClassifyBatch(xs, ys, codes)
+	for i := range xs {
+		if want := bank.Classify(xs[i], ys[i]); codes[i] != want {
+			t.Fatalf("hard point %d (%v, %v): batch %06b, scalar %06b",
+				i, xs[i], ys[i], codes[i], want)
+		}
+	}
+}
+
+// stubMonitor is a non-analytic monitor: banks containing one must skip
+// the LUT and classify through the scalar path.
+type stubMonitor struct{ cfg Config }
+
+func (s stubMonitor) Bit(x, y float64) int {
+	if x+y > 1 {
+		return 1
+	}
+	return 0
+}
+func (s stubMonitor) Config() Config { return s.cfg }
+
+func TestClassifyBatchFallsBackWithoutCertifiableBank(t *testing.T) {
+	cfgs := TableI()
+	bank := NewBank(MustAnalytic(cfgs[0]), stubMonitor{cfg: cfgs[1]})
+	if enabled, _ := bank.BatchInfo(); enabled {
+		t.Fatal("bank with a non-analytic monitor must not enable the LUT")
+	}
+	src := rng.New(3)
+	xs := make([]float64, 500)
+	ys := make([]float64, 500)
+	for i := range xs {
+		xs[i], ys[i] = src.Float64(), src.Float64()
+	}
+	codes := make([]Code, len(xs))
+	bank.ClassifyBatch(xs, ys, codes)
+	for i := range xs {
+		if want := bank.Classify(xs[i], ys[i]); codes[i] != want {
+			t.Fatalf("fallback point %d mismatch", i)
+		}
+	}
+}
+
+// TestLUTEnabledForTableI pins that the paper's bank actually certifies:
+// the batched engine's speedup relies on most cells answering by lookup.
+func TestLUTEnabledForTableI(t *testing.T) {
+	enabled, frac := NewAnalyticTableI().BatchInfo()
+	if !enabled {
+		t.Fatal("Table I bank must build a certified zone LUT")
+	}
+	if frac < 0.90 {
+		t.Fatalf("certified fraction %.3f, want >= 0.90 (boundary cells only)", frac)
+	}
+}
+
+// TestLUTMonotonePrecondition: a drive pattern mixing one axis across
+// both branches breaks the per-axis monotonicity the certification rests
+// on, so such a bank must refuse the LUT.
+func TestLUTMonotonePrecondition(t *testing.T) {
+	cfg := baseConfig("mixed")
+	cfg.WidthsNm = [4]float64{1800, 1800, 1800, 1800}
+	cfg.Inputs = [4]Input{X(), Y(), X(), Bias(0.5)} // X drives M1 (left) and M3 (right)
+	bank := NewBank(MustAnalytic(cfg))
+	if enabled, _ := bank.BatchInfo(); enabled {
+		t.Fatal("mixed-branch drive must not certify")
+	}
+	// The scalar fallback still classifies correctly.
+	src := rng.New(9)
+	for i := 0; i < 200; i++ {
+		x, y := src.Float64(), src.Float64()
+		codes := make([]Code, 1)
+		bank.ClassifyBatch([]float64{x}, []float64{y}, codes)
+		if codes[0] != bank.Classify(x, y) {
+			t.Fatalf("fallback mismatch at (%v, %v)", x, y)
+		}
+	}
+}
+
+// Allocation pins: the scalar classifier and the warmed batch classifier
+// must not allocate in steady state — campaign workers call them millions
+// of times per trial batch.
+func TestClassifyAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is unreliable under -race")
+	}
+	bank := NewAnalyticTableI()
+	if a := testing.AllocsPerRun(1000, func() {
+		bank.Classify(0.4, 0.6)
+	}); a != 0 {
+		t.Fatalf("Classify allocates %.1f per call, want 0", a)
+	}
+	src := rng.New(5)
+	xs := make([]float64, 256)
+	ys := make([]float64, 256)
+	for i := range xs {
+		xs[i], ys[i] = src.Float64(), src.Float64()
+	}
+	codes := make([]Code, len(xs))
+	bank.ClassifyBatch(xs, ys, codes) // build the LUT outside the measurement
+	if a := testing.AllocsPerRun(200, func() {
+		bank.ClassifyBatch(xs, ys, codes)
+	}); a != 0 {
+		t.Fatalf("warm ClassifyBatch allocates %.1f per call, want 0", a)
+	}
+}
+
+func TestClassifyBatchLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	NewAnalyticTableI().ClassifyBatch(make([]float64, 3), make([]float64, 3), make([]Code, 2))
+}

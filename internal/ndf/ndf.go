@@ -80,9 +80,12 @@ func Sampled(observed, golden *signature.Signature, n int) (float64, error) {
 		return 0, ErrPeriodMismatch
 	}
 	sum := 0
+	// Sample times are increasing: cumulative cursors answer each lookup
+	// in amortized O(1) instead of At's per-call entry scan.
+	co, cg := observed.Cursor(), golden.Cursor()
 	for i := 0; i < n; i++ {
 		t := T * (float64(i) + 0.5) / float64(n)
-		sum += observed.At(t).HammingDistance(golden.At(t))
+		sum += co.At(t).HammingDistance(cg.At(t))
 	}
 	return float64(sum) / float64(n), nil
 }
@@ -93,10 +96,11 @@ func HammingChronogram(observed, golden *signature.Signature, n int) (times []fl
 	T := golden.Period
 	times = make([]float64, n)
 	dist = make([]int, n)
+	co, cg := observed.Cursor(), golden.Cursor()
 	for i := 0; i < n; i++ {
 		t := T * float64(i) / float64(n)
 		times[i] = t
-		dist[i] = observed.At(t).HammingDistance(golden.At(t))
+		dist[i] = co.At(t).HammingDistance(cg.At(t))
 	}
 	return times, dist
 }

@@ -1,0 +1,92 @@
+// Package prof wires the standard -cpuprofile/-memprofile flags into
+// the repository's CLIs, so campaign hot spots can be profiled with
+// `go tool pprof` without editing code:
+//
+//	mcmon -backend=analytic -cpuprofile=cpu.out
+//	sigcap -shift 0.10 -memprofile=mem.out
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler holds the flag values and the live CPU-profile file.
+type Profiler struct {
+	cpu, mem string
+	cpuFile  *os.File
+}
+
+// FlagVars registers -cpuprofile and -memprofile on the flag set
+// (flag.CommandLine when nil) and returns the profiler to start after
+// parsing.
+func FlagVars(fs *flag.FlagSet) *Profiler {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	p := &Profiler{}
+	fs.StringVar(&p.cpu, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.mem, "memprofile", "", "write a heap profile to this file on exit")
+	return p
+}
+
+// Around runs fn between Start and Stop — the whole CLI wrapping in one
+// call. fn's error wins; a profile-teardown error surfaces only when fn
+// itself succeeded.
+func (p *Profiler) Around(fn func() error) error {
+	err := p.Start()
+	if err == nil {
+		err = fn()
+	}
+	if perr := p.Stop(); perr != nil && err == nil {
+		err = perr
+	}
+	return err
+}
+
+// Start begins CPU profiling when requested. Call after flag parsing and
+// pair with a deferred Stop.
+func (p *Profiler) Start() error {
+	if p.cpu == "" {
+		return nil
+	}
+	f, err := os.Create(p.cpu)
+	if err != nil {
+		return fmt.Errorf("prof: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("prof: %w", err)
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile (after a GC,
+// so the steady-state live set is what lands in the file). Safe to call
+// when profiling was never requested.
+func (p *Profiler) Stop() error {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		err := p.cpuFile.Close()
+		p.cpuFile = nil
+		if err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+	}
+	if p.mem != "" {
+		f, err := os.Create(p.mem)
+		if err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+	}
+	return nil
+}

@@ -47,6 +47,24 @@ func (c CaptureConfig) Validate() error {
 // MaxCount returns the largest counter value before wrap (2^m − 1).
 func (c CaptureConfig) MaxCount() uint64 { return 1<<uint(c.CounterBits) - 1 }
 
+// Ticks returns the number of master-clock samples one capture takes
+// over period T — the length of the per-tick code slice the batched
+// pipeline supplies (tick k samples t = k/ClockHz, k = 0 … n−1).
+func (c CaptureConfig) Ticks(T float64) (int, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if T <= 0 {
+		return 0, fmt.Errorf("signature: period %g must be positive", T)
+	}
+	tick := 1 / c.ClockHz
+	n := int(math.Round(T / tick))
+	if n < 2 {
+		return 0, fmt.Errorf("signature: period %g too short for clock %g", T, c.ClockHz)
+	}
+	return n, nil
+}
+
 // Capture runs the clocked acquisition over one period T: the classifier
 // is sampled on every master-clock tick; a code change latches the
 // counter into the time register and resets it. If a zone dwell exceeds
@@ -63,55 +81,122 @@ func Capture(classify Classifier, T float64, cfg CaptureConfig) (*Signature, err
 }
 
 // CaptureBuffer holds reusable scratch for repeated captures, so a
-// Monte-Carlo trial loop does not re-allocate the raw entry sequence on
-// every period. One buffer per campaign worker; like rng.Stream it is
-// not safe for concurrent use.
+// Monte-Carlo trial loop does not re-allocate the raw entry sequence,
+// the per-tick code grid, or the canonical result on every period. One
+// buffer per campaign worker; like rng.Stream it is not safe for
+// concurrent use.
 type CaptureBuffer struct {
-	raw []Entry
+	raw   []Entry
+	canon []Entry
+	codes []monitor.Code
+	sig   Signature
 }
 
-// CaptureCanonical is Capture followed by Canonical: the raw (wrap-split)
-// entry sequence accumulates in buf's scratch and only the merged
-// canonical signature — which the caller keeps — is freshly allocated.
-// A nil buf degrades to one-shot scratch. The result is bit-identical to
+// Codes returns the buffer's per-tick code scratch resized to n slots
+// (contents undefined). The batched pipeline fills it and hands it to
+// CaptureCanonicalCodes; reusing the buffer's scratch keeps the steady
+// state allocation-free.
+func (b *CaptureBuffer) Codes(n int) []monitor.Code {
+	if cap(b.codes) < n {
+		b.codes = make([]monitor.Code, n)
+	}
+	b.codes = b.codes[:n]
+	return b.codes
+}
+
+// CaptureCanonical is Capture followed by Canonical. With a nil buf both
+// the scratch and the result are freshly allocated and the caller owns
+// the signature. With a non-nil buf the raw (wrap-split) sequence, the
+// canonical merge and the returned Signature header all live in the
+// buffer: zero steady-state allocations, but the result is only valid
+// until the buffer's next capture — campaign workers consume the NDF and
+// discard the signature before the next trial, which is exactly that
+// contract. Either way the result is bit-identical to
 // Capture(...).Canonical().
 func CaptureCanonical(classify Classifier, T float64, cfg CaptureConfig, buf *CaptureBuffer) (*Signature, error) {
+	raw, err := captureRaw(classify, T, cfg, buf)
+	if err != nil {
+		return nil, err
+	}
+	return canonicalFromRaw(raw, T, buf), nil
+}
+
+// CaptureCanonicalCodes is CaptureCanonical for the batched pipeline:
+// the caller has already classified every master-clock tick
+// (codes[k] = code at t = k/ClockHz, len(codes) == cfg.Ticks(T)) and the
+// capture hardware model just walks the slice. Buffer semantics match
+// CaptureCanonical; codes may alias buf.Codes. The result is
+// bit-identical to the scalar CaptureCanonical fed a classifier that
+// returns the same per-tick codes.
+func CaptureCanonicalCodes(codes []monitor.Code, T float64, cfg CaptureConfig, buf *CaptureBuffer) (*Signature, error) {
+	n, err := cfg.Ticks(T)
+	if err != nil {
+		return nil, err
+	}
+	if len(codes) != n {
+		return nil, fmt.Errorf("signature: got %d tick codes, capture needs %d", len(codes), n)
+	}
+	raw, err := walkIntoBuf(codes, T, cfg, buf)
+	if err != nil {
+		return nil, err
+	}
+	return canonicalFromRaw(raw, T, buf), nil
+}
+
+// walkIntoBuf runs walkCodes with the buffer's raw scratch (writing the
+// grown slice back) and maps an empty result to ErrEmpty — the buffer
+// bookkeeping shared by the scalar and codes-slice capture paths.
+func walkIntoBuf(codes []monitor.Code, T float64, cfg CaptureConfig, buf *CaptureBuffer) ([]Entry, error) {
 	var scratch []Entry
 	if buf != nil {
 		scratch = buf.raw[:0]
 	}
-	raw, err := captureRaw(classify, T, cfg, scratch)
-	if buf != nil && raw != nil {
-		buf.raw = raw
+	entries := walkCodes(codes, T, cfg, scratch)
+	if buf != nil {
+		buf.raw = entries
 	}
+	if len(entries) == 0 {
+		return entries, ErrEmpty
+	}
+	return entries, nil
+}
+
+// captureRaw samples the classifier on every master-clock tick into the
+// buffer's code scratch and walks the resulting sequence — the capture
+// hardware model shared by Capture and CaptureCanonical. The classifier
+// is invoked in tick order (k = 0 … n−1), so stateful classifiers (the
+// measurement-noise path) draw exactly as they did when the acquisition
+// loop was fused.
+func captureRaw(classify Classifier, T float64, cfg CaptureConfig, buf *CaptureBuffer) ([]Entry, error) {
+	n, err := cfg.Ticks(T)
 	if err != nil {
 		return nil, err
 	}
-	return (&Signature{Period: T, Entries: raw}).Canonical(), nil
-}
-
-// captureRaw appends the raw clocked acquisition into scratch[:len] and
-// returns the filled slice (the Capture hardware model shared by Capture
-// and CaptureCanonical).
-func captureRaw(classify Classifier, T float64, cfg CaptureConfig, scratch []Entry) ([]Entry, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if T <= 0 {
-		return nil, fmt.Errorf("signature: period %g must be positive", T)
+	var codes []monitor.Code
+	if buf != nil {
+		codes = buf.Codes(n)
+	} else {
+		codes = make([]monitor.Code, n)
 	}
 	tick := 1 / cfg.ClockHz
-	n := int(math.Round(T / tick))
-	if n < 2 {
-		return nil, fmt.Errorf("signature: period %g too short for clock %g", T, cfg.ClockHz)
+	codes[0] = classify(0)
+	for k := 1; k < n; k++ {
+		codes[k] = classify(float64(k) * tick)
 	}
+	return walkIntoBuf(codes, T, cfg, buf)
+}
+
+// walkCodes runs the Fig. 5 transition detector + m-bit counter over the
+// per-tick code sequence, appending raw (wrap-split) entries to scratch.
+func walkCodes(codes []monitor.Code, T float64, cfg CaptureConfig, scratch []Entry) []Entry {
+	tick := 1 / cfg.ClockHz
 	maxCount := cfg.MaxCount()
 	stable := cfg.MinStableTicks
 	if stable < 1 {
 		stable = 1
 	}
 	entries := scratch
-	cur := classify(0)
+	cur := codes[0]
 	var count uint64
 	var candidate monitor.Code
 	var candidateRun uint64
@@ -121,15 +206,14 @@ func captureRaw(classify Classifier, T float64, cfg CaptureConfig, scratch []Ent
 		}
 		entries = append(entries, Entry{Code: code, Dur: float64(counts) * tick})
 	}
-	for k := 1; k < n; k++ {
-		t := float64(k) * tick
+	for k := 1; k < len(codes); k++ {
 		count++
 		if count > maxCount {
 			// Counter wrap: hardware latches the max value and restarts.
 			emit(cur, maxCount)
 			count -= maxCount
 		}
-		c := classify(t)
+		c := codes[k]
 		switch {
 		case c == cur:
 			candidateRun = 0
@@ -164,21 +248,42 @@ func captureRaw(classify Classifier, T float64, cfg CaptureConfig, scratch []Ent
 			entries[i].Dur *= scale
 		}
 	}
-	if len(entries) == 0 {
-		return entries, ErrEmpty
+	return entries
+}
+
+// canonicalFromRaw merges adjacent equal codes of the raw sequence. With
+// a nil buf the merge allocates a caller-owned signature (the historical
+// Canonical() behaviour); with a buffer both the entries and the header
+// are buffer-backed scratch.
+func canonicalFromRaw(raw []Entry, T float64, buf *CaptureBuffer) *Signature {
+	if buf == nil {
+		return (&Signature{Period: T, Entries: raw}).Canonical()
 	}
-	return entries, nil
+	out := buf.canon[:0]
+	for _, e := range raw {
+		if n := len(out); n > 0 && out[n-1].Code == e.Code {
+			out[n-1].Dur += e.Dur
+		} else {
+			out = append(out, e)
+		}
+	}
+	buf.canon = out
+	buf.sig = Signature{Period: T, Entries: out}
+	return &buf.sig
 }
 
 // Chronogram samples the signature's code at n uniform instants over the
-// period, returning the decimal-coded series of Fig. 7's upper plot.
+// period, returning the decimal-coded series of Fig. 7's upper plot. The
+// sample times are nondecreasing, so a cursor resolves each lookup in
+// amortized O(1) instead of At's per-call entry scan.
 func Chronogram(s *Signature, bank *monitor.Bank, n int) (times []float64, decimal []int) {
 	times = make([]float64, n)
 	decimal = make([]int, n)
+	cur := s.Cursor()
 	for i := 0; i < n; i++ {
 		t := s.Period * float64(i) / float64(n)
 		times[i] = t
-		decimal[i] = bank.Decimal(s.At(t))
+		decimal[i] = bank.Decimal(cur.At(t))
 	}
 	return times, decimal
 }

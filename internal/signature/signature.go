@@ -80,6 +80,57 @@ func (s *Signature) At(t float64) monitor.Code {
 	return s.Entries[len(s.Entries)-1].Code
 }
 
+// Cursor resolves At-style code lookups against a signature with a
+// cumulative-time position, answering nondecreasing query sequences —
+// the chronogram and sampled-NDF loops — in amortized O(1) instead of
+// At's O(entries) scan per call. Queries that move backwards in time
+// rewind the cursor and stay correct, just slower. Results are identical
+// to Signature.At for every t (the cumulative sums are accumulated in
+// the same order). A Cursor must not outlive mutations of the signature
+// and is not safe for concurrent use.
+type Cursor struct {
+	sig        *Signature
+	idx        int
+	begin, end float64 // current entry's [begin, end) window
+}
+
+// Cursor returns a lookup cursor positioned at the first entry.
+func (s *Signature) Cursor() Cursor {
+	c := Cursor{sig: s}
+	c.rewind()
+	return c
+}
+
+// rewind repositions the cursor at the first entry.
+func (c *Cursor) rewind() {
+	c.idx, c.begin, c.end = 0, 0, 0
+	if len(c.sig.Entries) > 0 {
+		c.end = c.sig.Entries[0].Dur
+	}
+}
+
+// At returns the zone code at time t (wrapped into [0, Period)), exactly
+// as Signature.At does.
+func (c *Cursor) At(t float64) monitor.Code {
+	s := c.sig
+	if len(s.Entries) == 0 {
+		return 0
+	}
+	t = math.Mod(t, s.Period)
+	if t < 0 {
+		t += s.Period
+	}
+	if t < c.begin {
+		c.rewind()
+	}
+	for t >= c.end && c.idx < len(s.Entries)-1 {
+		c.idx++
+		c.begin = c.end
+		c.end += s.Entries[c.idx].Dur
+	}
+	return s.Entries[c.idx].Code
+}
+
 // NumZones returns the number of entries (zones traversed, with
 // revisits counted each time).
 func (s *Signature) NumZones() int { return len(s.Entries) }
@@ -140,6 +191,27 @@ func Exact(classify Classifier, T float64, nScan int, tol float64) (*Signature, 
 	if nScan < 2 {
 		return nil, fmt.Errorf("signature: need at least 2 scan points")
 	}
+	codes := make([]monitor.Code, nScan+1)
+	for i := 0; i <= nScan; i++ {
+		codes[i] = classify(T * float64(i) / float64(nScan))
+	}
+	return ExactFromCodes(codes, classify, T, tol)
+}
+
+// ExactFromCodes is Exact for the batched pipeline: the scan grid has
+// already been classified (codes[i] = code at T·i/nScan for
+// i = 0 … nScan, so len(codes) = nScan+1) and only the transition
+// brackets found on the grid are refined by bisection with the exact
+// scalar classifier. The result is bit-identical to Exact with a
+// classifier returning the same grid codes.
+func ExactFromCodes(codes []monitor.Code, classify Classifier, T float64, tol float64) (*Signature, error) {
+	nScan := len(codes) - 1
+	if T <= 0 {
+		return nil, fmt.Errorf("signature: period %g must be positive", T)
+	}
+	if nScan < 2 {
+		return nil, fmt.Errorf("signature: need at least 2 scan points")
+	}
 	if tol <= 0 {
 		tol = T * 1e-9
 	}
@@ -148,12 +220,12 @@ func Exact(classify Classifier, T float64, nScan int, tol float64) (*Signature, 
 		code monitor.Code // code after the transition
 	}
 	var edges []edge
-	prev := classify(0)
+	prev := codes[0]
 	first := prev
 	tPrev := 0.0
 	for i := 1; i <= nScan; i++ {
 		t := T * float64(i) / float64(nScan)
-		c := classify(t)
+		c := codes[i]
 		if c != prev {
 			// Refine transition in (tPrev, t]. Note multiple transitions
 			// inside one scan step are merged — nScan must be chosen

@@ -109,14 +109,15 @@ func RunFaultTableWorkers(sys *core.System, dec ndf.Decision, faults []biquad.Fa
 	if _, err := sys.GoldenSignature(); err != nil {
 		return nil, err
 	}
-	cases, err := campaign.Run(campaign.Engine{Workers: workers}, len(faults),
-		func(i int) (FaultCase, error) {
+	cases, err := campaign.RunScratch(campaign.Engine{Workers: workers}, len(faults),
+		core.NewTrialScratch,
+		func(i int, sc *core.TrialScratch) (FaultCase, error) {
 			f := faults[i]
 			cut, err := sys.Deviated(core.Deviation{Fault: &f})
 			if err != nil {
 				return FaultCase{}, fmt.Errorf("testbench: fault %s: %w", f, err)
 			}
-			v, err := sys.NDFOf(cut)
+			v, err := sys.NDFOfScratch(cut, sc)
 			if err != nil {
 				return FaultCase{}, fmt.Errorf("testbench: fault %s: %w", f, err)
 			}

@@ -48,10 +48,12 @@ func RunNoiseDetection(sys *core.System, sigma float64, devs []float64, nullTria
 		for i := range streams {
 			streams[i] = src.Split(base + uint64(i))
 		}
-		return campaign.Run(eng, n, func(i int) (float64, error) {
-			// The outer pool owns the parallelism: periods run serially.
-			return sys.AveragedNDFWorkers(cut, sigma, streams[i], periods, 1)
-		})
+		return campaign.RunScratch(eng, n, core.NewTrialScratch,
+			func(i int, sc *core.TrialScratch) (float64, error) {
+				// The outer pool owns the parallelism: periods run serially
+				// on this worker's scratch.
+				return sys.AveragedNDFScratch(cut, sigma, streams[i], periods, sc)
+			})
 	}
 	nulls, err := measure(0, nullTrials, 0)
 	if err != nil {

@@ -45,10 +45,12 @@ func RunNoiseSweepWorkers(sys *core.System, sigmas, devGrid []float64, trials in
 			if err != nil {
 				return nil, err
 			}
-			return campaign.Run(eng, len(streams), func(i int) (float64, error) {
-				// The outer pool owns the parallelism: periods run serially.
-				return sys.AveragedNDFWorkers(cut, sigma, streams[i], periods, 1)
-			})
+			return campaign.RunScratch(eng, len(streams), core.NewTrialScratch,
+				func(i int, sc *core.TrialScratch) (float64, error) {
+					// The outer pool owns the parallelism: periods run
+					// serially on this worker's scratch.
+					return sys.AveragedNDFScratch(cut, sigma, streams[i], periods, sc)
+				})
 		}
 		streams := make([]*rng.Stream, trials)
 		for i := range streams {

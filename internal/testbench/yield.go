@@ -75,8 +75,9 @@ func RunYield(sys *core.System, dec ndf.Decision, n int, componentSigma, tol flo
 		streams[i] = src.Split(uint64(i))
 	}
 	type verdict struct{ truthGood, pass bool }
-	verdicts, err := campaign.Run(campaign.Engine{}, n,
-		func(i int) (verdict, error) {
+	verdicts, err := campaign.RunScratch(campaign.Engine{}, n,
+		core.NewTrialScratch,
+		func(i int, sc *core.TrialScratch) (verdict, error) {
 			s := streams[i]
 			// Per-die component tolerances, injected at realization level
 			// through the backend (the draw order is part of the
@@ -97,7 +98,7 @@ func RunYield(sys *core.System, dec ndf.Decision, n int, componentSigma, tol flo
 			truthGood := inBand(p.F0, golden.F0, tol) &&
 				inBand(p.Q, golden.Q, 2*tol) &&
 				inBand(p.Gain, golden.Gain, tol)
-			v, err := sys.NDFOf(cut)
+			v, err := sys.NDFOfScratch(cut, sc)
 			if err != nil {
 				return verdict{}, err
 			}
