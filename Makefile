@@ -1,15 +1,17 @@
 # CI entry points. `make ci` is the gate: format check, vet, build, the
-# race-tested short suite, and a one-iteration benchmark smoke pass over
-# the transient/campaign benchmarks (catches perf-path regressions that
-# only show up when the solver actually runs). `make test` runs the full
-# suite including the long Monte-Carlo campaigns.
+# race-tested short suite, a one-iteration benchmark smoke pass over the
+# transient/campaign benchmarks (catches perf-path regressions that only
+# show up when the solver actually runs), and an mcserved smoke run that
+# boots the HTTP campaign service and drives one small campaign through
+# its own API. `make test` runs the full suite including the long
+# Monte-Carlo campaigns.
 
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: ci fmt vet build test race bench bench-json bench-smoke
+.PHONY: ci fmt vet build test race bench bench-json bench-smoke serve-smoke
 
-ci: fmt vet build race bench-smoke
+ci: fmt vet build race bench-smoke serve-smoke
 
 # gofmt gate: fail with the offending file list when any file is unformatted.
 fmt:
@@ -37,14 +39,20 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 # Perf trajectory snapshot: the full benchmark suite in `go test -json`
-# event form (benchstat reads it directly: `benchstat BENCH_3.json`).
+# event form (benchstat reads it directly: `benchstat BENCH_4.json`).
 # Bump the file name per PR so the trajectory accumulates.
 bench-json:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ -json . > BENCH_3.json
+	$(GO) test -bench=. -benchtime=1x -run=^$$ -json . > BENCH_4.json
 
 # Smoke gate: single-iteration run of the SPICE transient, the
-# SPICE-campaign and the batched-signature-engine benchmarks (fast path,
-# Newton baseline, CUT output, fault table, batched vs scalar capture)
-# — proves the hot paths still execute end to end.
+# SPICE-campaign, the batched-signature-engine and the registry-dispatch
+# benchmarks (fast path, Newton baseline, CUT output, fault table,
+# batched vs scalar capture, spec dispatch) — proves the hot paths still
+# execute end to end.
 bench-smoke:
-	$(GO) test -bench='TransientTowThomas|SpiceCUT|FaultTableSpice|SignatureCapture|AveragedNDF|BankClassify' -benchtime=1x -run=^$$ .
+	$(GO) test -bench='TransientTowThomas|SpiceCUT|FaultTableSpice|SignatureCapture|AveragedNDF|BankClassify|RegistryDispatch' -benchtime=1x -run=^$$ .
+
+# HTTP service smoke: boot mcserved on an ephemeral port and run one
+# small campaign through its own API (list, submit, poll, result).
+serve-smoke:
+	$(GO) run ./cmd/mcserved -smoke

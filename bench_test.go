@@ -6,6 +6,8 @@
 package repro
 
 import (
+	"context"
+	"encoding/json"
 	"testing"
 
 	"repro/internal/biquad"
@@ -606,4 +608,37 @@ func BenchmarkExtensionSelfTest(b *testing.B) {
 		cov = st.Coverage()
 	}
 	b.ReportMetric(cov, "stuckat_coverage")
+}
+
+// API: registry-dispatch overhead — a full Run (spec decode, registry
+// lookup, option resolution, envelope assembly) around the cheapest
+// campaign, so the number is dominated by the dispatch machinery the PR 4
+// redesign put in front of every campaign, not by the campaign itself.
+func BenchmarkRegistryDispatch(b *testing.B) {
+	ctx := context.Background()
+	var zones int
+	for i := 0; i < b.N; i++ {
+		res, err := testbench.Run(ctx, testbench.Spec{Campaign: "table1"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		zones = len(res.Payload.(*testbench.Table1).Configs)
+	}
+	b.ReportMetric(float64(zones), "configs")
+}
+
+// API: the same dispatch from raw JSON — the mcserved HTTP body path,
+// including the strict params decode.
+func BenchmarkRegistryDispatchJSON(b *testing.B) {
+	ctx := context.Background()
+	body := []byte(`{"campaign":"fig1","workers":1,"params":{"shift":0.1,"points":16}}`)
+	for i := 0; i < b.N; i++ {
+		var spec testbench.Spec
+		if err := json.Unmarshal(body, &spec); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := testbench.Run(ctx, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

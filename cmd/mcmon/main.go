@@ -1,30 +1,40 @@
-// Command mcmon runs the repository's Monte-Carlo studies.
+// Command mcmon runs the repository's Monte-Carlo studies on the
+// campaign registry.
 //
-// Without -backend it studies the monitor under process variation: it
+// Without flags it studies the monitor under process variation: it
 // traces one Table I boundary across Monte Carlo dies, prints the 95%
 // envelope, and shows the spread histogram of the boundary position at a
 // chosen x.
 //
-// With -backend it runs the component-level fault-table campaign on the
-// selected CUT backend — the analytic Tow-Thomas model or the SPICE
-// netlist engine — calibrating the acceptance threshold first:
+// -campaign runs any registered campaign from its declarative spec;
+// -params takes the campaign's JSON params, -list enumerates the
+// catalogue (names, param schemas, defaults) straight from the registry:
 //
+//	mcmon -list
 //	mcmon -monitor 3 -dies 500 -x 0.4 -workers 4
-//	mcmon -backend=spice          # reduced fault campaign on the netlist engine
-//	mcmon -backend=analytic -tol 0.05
+//	mcmon -campaign noisesweep -params '{"trials":5}' -workers 8
+//	mcmon -campaign faults -backend=spice     # fault campaign on the netlist engine
+//	mcmon -backend=spice                      # shorthand for the same
 //
-// Dies and faults fan out across the campaign worker pool (-workers 0 =
-// all CPUs); the output is bit-identical at any worker count.
+// Campaign trials fan out across the campaign worker pool (-workers 0 =
+// all CPUs); the output is bit-identical at any worker count. Ctrl-C
+// cancels the campaign mid-flight through the same context plumbing the
+// mcserved HTTP service uses.
 //
 // -cpuprofile and -memprofile write pprof profiles of the campaign for
 // `go tool pprof`, so hot spots can be inspected without editing code.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
@@ -38,33 +48,61 @@ import (
 
 func main() {
 	var (
-		monIdx  = flag.Int("monitor", 3, "Table I monitor number (1-6)")
-		dies    = flag.Int("dies", 500, "number of Monte Carlo dies")
-		x       = flag.Float64("x", 0.4, "x column for the spread histogram")
-		seed    = flag.Uint64("seed", 1, "Monte Carlo seed")
-		workers = flag.Int("workers", 0, "worker pool size (0 = all CPUs)")
-		backend = flag.String("backend", "", "run the fault-table campaign on a CUT backend: analytic or spice")
-		tol     = flag.Float64("tol", 0.05, "calibration tolerance for the fault campaign")
+		list     = flag.Bool("list", false, "enumerate registered campaigns, param schemas and defaults, then exit")
+		name     = flag.String("campaign", "", "registered campaign to run (see -list)")
+		params   = flag.String("params", "", "campaign params as JSON (defaults apply to omitted fields)")
+		backend  = flag.String("backend", "", "CUT backend for the campaign: "+strings.Join(core.Backends(), " or ")+" (implies -campaign faults when none is named)")
+		scalar   = flag.Bool("scalar", false, "run the retained per-tick scalar signature engine")
+		monIdx   = flag.Int("monitor", 3, "Table I monitor number (1-6) for the monitor study")
+		dies     = flag.Int("dies", 500, "number of Monte Carlo dies for the monitor study")
+		x        = flag.Float64("x", 0.4, "x column for the monitor study's spread histogram")
+		seed     = flag.Uint64("seed", 1, "campaign seed")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = all CPUs)")
+		tol      = flag.Float64("tol", 0.05, "calibration tolerance for the fault campaign shorthand")
+		progress = flag.Bool("progress", false, "print live trial progress to stderr")
 	)
 	profiler := prof.FlagVars(nil)
 	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 	err := profiler.Around(func() error {
-		if *backend == "" {
-			return run(*monIdx, *dies, *x, *seed, *workers)
-		}
-		// The fault campaign ignores the monitor-study knobs; reject the
-		// conflicting combination instead of silently dropping them.
-		var conflict error
-		flag.Visit(func(f *flag.Flag) {
-			switch f.Name {
-			case "monitor", "dies", "x", "seed":
-				conflict = fmt.Errorf("-%s applies to the monitor study and conflicts with -backend", f.Name)
+		switch {
+		case *list:
+			return runList()
+		case *name != "" || *backend != "":
+			// The campaign path takes its knobs from the spec; reject the
+			// monitor-study flags (and -tol, which only feeds the faults
+			// shorthand's calibration) instead of silently dropping them.
+			var conflict error
+			flag.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "monitor", "dies", "x":
+					conflict = fmt.Errorf("-%s applies to the monitor study and conflicts with -campaign/-backend (use -params)", f.Name)
+				case "tol":
+					if *name != "" {
+						conflict = fmt.Errorf("-tol only feeds the -backend fault shorthand; with -campaign pass the tolerance in -params")
+					}
+				}
+			})
+			if conflict != nil {
+				return conflict
 			}
-		})
-		if conflict != nil {
-			return conflict
+			return runCampaign(ctx, *name, *params, *backend, *scalar, *seed, *workers, *tol, *progress)
+		default:
+			// The monitor study ignores the campaign knobs; reject the
+			// conflicting combination instead of silently dropping them.
+			var conflict error
+			flag.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "params", "scalar", "tol":
+					conflict = fmt.Errorf("-%s needs -campaign or -backend", f.Name)
+				}
+			})
+			if conflict != nil {
+				return conflict
+			}
+			return runMonitorStudy(ctx, *monIdx, *dies, *x, *seed, *workers)
 		}
-		return runFaults(*backend, *tol, *workers)
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcmon:", err)
@@ -72,34 +110,87 @@ func main() {
 	}
 }
 
-// runFaults runs the component fault campaign on the chosen CUT backend.
-func runFaults(backend string, tol float64, workers int) error {
-	sys, err := core.SystemForBackend(backend)
-	if err != nil {
-		return err
+// runList prints the registry catalogue.
+func runList() error {
+	fmt.Println("registered campaigns (spec fields: campaign, backend, seed, workers, scalar, params):")
+	for _, info := range testbench.List() {
+		fmt.Printf("\n  %-11s %s\n", info.Name, info.Summary)
+		for _, p := range info.Params {
+			def, err := json.Marshal(p.Default)
+			if err != nil {
+				def = []byte("?")
+			}
+			fmt.Printf("      %-16s %-10s = %s\n", p.Name, p.Type, def)
+		}
 	}
-	fmt.Printf("CUT backend: %s\n", sys.CUT.Describe())
-	dec, err := sys.CalibrateFromTolerance(tol, 9)
-	if err != nil {
-		return err
-	}
-	tab, err := testbench.RunFaultTableWorkers(sys, dec, testbench.DefaultFaultSet(), workers)
-	if err != nil {
-		return err
-	}
-	fmt.Print(tab.Render())
 	return nil
 }
 
-func run(monIdx, dies int, x float64, seed uint64, workers int) error {
-	if monIdx < 1 || monIdx > 6 {
-		return fmt.Errorf("monitor number %d out of 1-6", monIdx)
+// runCampaign executes one registered campaign from its spec pieces.
+// An empty name with a backend set keeps the historic shorthand: the
+// component fault campaign on that backend.
+func runCampaign(ctx context.Context, name, params, backend string, scalar bool, seed uint64, workers int, tol float64, progress bool) error {
+	spec := testbench.Spec{
+		Campaign: name,
+		Backend:  backend,
+		Seed:     seed,
+		Workers:  workers,
+		Scalar:   scalar,
 	}
-	env, err := testbench.RunFig4MCWorkers(monIdx-1, dies, 21, seed, workers)
+	if params != "" {
+		spec.Params = json.RawMessage(params)
+	}
+	if name == "" {
+		spec.Campaign = "faults"
+		if params == "" {
+			spec.Params = testbench.FaultsParams{Tol: tol}
+		}
+	}
+	var opts []testbench.Option
+	if progress {
+		opts = append(opts, testbench.WithProgress(func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d trials", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}))
+	}
+	res, err := testbench.Run(ctx, spec, opts...)
 	if err != nil {
 		return err
 	}
-	fmt.Print(env.Render())
+	fmt.Printf("campaign %s (backend %s, %v)\n", res.Spec.Campaign,
+		orDefault(res.Spec.Backend, core.Backends()[0]), res.Elapsed.Round(1e6))
+	if res.Text == "" {
+		return json.NewEncoder(os.Stdout).Encode(res.Payload)
+	}
+	fmt.Print(res.Text)
+	return nil
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// runMonitorStudy is the historic default: the Fig. 4 MC envelope plus a
+// boundary spread histogram, both on the campaign engine.
+func runMonitorStudy(ctx context.Context, monIdx, dies int, x float64, seed uint64, workers int) error {
+	if monIdx < 1 || monIdx > 6 {
+		return fmt.Errorf("monitor number %d out of 1-6", monIdx)
+	}
+	env, err := testbench.Run(ctx, testbench.Spec{
+		Campaign: "fig4mc",
+		Seed:     seed,
+		Workers:  workers,
+		Params:   testbench.Fig4MCParams{Monitor: monIdx - 1, Dies: dies, Cols: 21},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(env.Text)
 
 	// Spread histogram at one column — the same per-die trial, fanned out
 	// on the campaign engine.
@@ -111,7 +202,7 @@ func run(monIdx, dies int, x float64, seed uint64, workers int) error {
 	for d := range streams {
 		streams[d] = src.Split(uint64(d))
 	}
-	boundary, err := campaign.Run(campaign.Engine{Workers: workers}, dies,
+	boundary, err := campaign.Run(ctx, campaign.Engine{Workers: workers}, dies,
 		func(d int) (float64, error) {
 			die := variation.SampleDie(streams[d])
 			devs := a.Devices()

@@ -1,0 +1,152 @@
+// Command mcserved serves the campaign registry over HTTP: every
+// testbench campaign becomes reachable with a POST of its declarative
+// spec, runs concurrently with streamed progress, and is cancellable
+// mid-flight.
+//
+//	mcserved -addr :8080
+//
+//	curl localhost:8080/v1/campaigns                  # catalogue + schemas
+//	curl -d '{"campaign":"fig4mc","seed":7}' localhost:8080/v1/campaigns
+//	curl localhost:8080/v1/jobs/job-1                 # progress / result
+//	curl localhost:8080/v1/jobs/job-1/events          # SSE progress stream
+//	curl -X POST localhost:8080/v1/jobs/job-1/cancel  # abort mid-campaign
+//
+// SIGINT/SIGTERM shut the server down gracefully, cancelling running
+// campaigns through the same context plumbing the API's cancel uses.
+//
+// -smoke starts the server on an ephemeral port, drives one small
+// campaign through its own HTTP API and exits — the CI gate that proves
+// the service end to end without external tooling.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		smoke = flag.Bool("smoke", false, "start on an ephemeral port, run one small campaign through the HTTP API, and exit")
+	)
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, *smoke); err != nil {
+		fmt.Fprintln(os.Stderr, "mcserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, addr string, smoke bool) error {
+	if smoke {
+		addr = "127.0.0.1:0"
+	}
+	srv := serve.New(ctx)
+	defer srv.Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	fmt.Printf("mcserved listening on http://%s\n", ln.Addr())
+	if smoke {
+		err := smokeTest("http://" + ln.Addr().String())
+		hs.Close()
+		<-errCh
+		return err
+	}
+	select {
+	case <-ctx.Done():
+		fmt.Println("mcserved: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shutdownCtx)
+		<-errCh
+		return nil
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// smokeTest exercises the service end to end: catalogue, submit, poll to
+// completion, and print the campaign text.
+func smokeTest(base string) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	resp, err := client.Get(base + "/v1/campaigns")
+	if err != nil {
+		return err
+	}
+	var infos []struct {
+		Name string `json:"name"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&infos)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if len(infos) == 0 {
+		return errors.New("smoke: empty campaign catalogue")
+	}
+	fmt.Printf("smoke: catalogue lists %d campaigns\n", len(infos))
+
+	spec := `{"campaign":"fig4mc","seed":7,"params":{"monitor":2,"dies":25,"cols":11}}`
+	resp, err = client.Post(base+"/v1/campaigns", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return err
+	}
+	var st serve.JobStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("smoke: submit status %s", resp.Status)
+	}
+	fmt.Printf("smoke: submitted %s as %s\n", st.Spec.Campaign, st.ID)
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err = client.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if st.State != serve.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("smoke: job still running after 60s (progress %d/%d)",
+				st.Progress.Done, st.Progress.Total)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if st.State != serve.StateDone || st.Result == nil {
+		return fmt.Errorf("smoke: job ended %q: %s", st.State, st.Error)
+	}
+	fmt.Printf("smoke: %s done in %v\n%s", st.ID, st.Result.Elapsed.Round(time.Millisecond), st.Result.Text)
+	return nil
+}

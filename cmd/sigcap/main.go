@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/ndf"
@@ -36,7 +37,7 @@ func main() {
 		out     = flag.String("out", "", "write the binary signature to this file")
 		jsonOut = flag.String("json", "", "write the JSON signature to this file")
 		in      = flag.String("in", "", "score a stored binary signature instead of capturing")
-		backend = flag.String("backend", "analytic", "CUT backend: analytic or spice")
+		backend = flag.String("backend", core.Backends()[0], "CUT backend: "+strings.Join(core.Backends(), " or "))
 	)
 	profiler := prof.FlagVars(nil)
 	flag.Parse()

@@ -1,5 +1,8 @@
 // Command xyzone regenerates the paper's tables and figures from the
-// reproduction pipeline and prints them as text or CSV.
+// reproduction pipeline and prints them as text or CSV. Every experiment
+// is dispatched through the campaign registry, so the flags here are a
+// thin veneer over the same declarative specs mcmon -campaign and the
+// mcserved HTTP service accept.
 //
 // Usage:
 //
@@ -16,9 +19,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/testbench"
@@ -41,181 +47,105 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "random seed for stochastic experiments")
 	)
 	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 	if *ext != "" {
-		if err := runExt(*ext, *tol); err != nil {
+		if err := runExt(ctx, *ext, *tol); err != nil {
 			fmt.Fprintln(os.Stderr, "xyzone:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*fig, *tab, *shift, *tol, *points, *mc, *monIdx, *dies, *noise, *abl, *seed); err != nil {
+	if err := run(ctx, *fig, *tab, *shift, *tol, *points, *mc, *monIdx, *dies, *noise, *abl, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "xyzone:", err)
 		os.Exit(1)
 	}
 }
 
-func runExt(ext string, tol float64) error {
-	sys := core.Default()
+// printCampaign dispatches a spec through the registry and prints the
+// rendered result.
+func printCampaign(ctx context.Context, spec testbench.Spec) error {
+	res, err := testbench.Run(ctx, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Text)
+	return nil
+}
+
+// runExt maps the extension names onto registry campaigns. Defaults for
+// params the flag surface does not expose come from the registry.
+func runExt(ctx context.Context, ext string, tol float64) error {
 	switch ext {
-	case "q":
-		e, err := testbench.RunExtQ(sys, []float64{-0.40, -0.20, -0.10, 0.10, 0.20, 0.40})
-		if err != nil {
-			return err
+	case "q", "corners", "temp", "spectral", "metric", "noisesweep", "stimopt":
+		var spec testbench.Spec
+		spec.Campaign = ext
+		if ext == "noisesweep" {
+			spec.Seed = 7
 		}
-		fmt.Print(e.Render())
-		return nil
+		return printCampaign(ctx, spec)
 	case "faults":
-		dec, err := sys.CalibrateFromTolerance(tol, 9)
-		if err != nil {
-			return err
-		}
-		tab, err := testbench.RunFaultTable(sys, dec, testbench.DefaultFaultSet())
-		if err != nil {
-			return err
-		}
-		fmt.Print(tab.Render())
-		return nil
-	case "corners":
-		cd, err := testbench.RunCornerDrift(sys)
-		if err != nil {
-			return err
-		}
-		fmt.Print(cd.Render())
-		return nil
-	case "temp":
-		td, err := testbench.RunTempDrift(sys, []float64{233, 273, 300, 323, 358, 398})
-		if err != nil {
-			return err
-		}
-		fmt.Print(td.Render())
-		return nil
-	case "spectral":
-		a, err := testbench.RunAblSpectral(sys,
-			[]float64{-0.20, -0.15, -0.10, -0.06, -0.03, 0, 0.03, 0.06, 0.10, 0.15, 0.20},
-			[]float64{-0.12, -0.04, 0.07, 0.12})
-		if err != nil {
-			return err
-		}
-		fmt.Print(a.Render())
-		return nil
-	case "metric":
-		m, err := testbench.RunAblMetric(sys,
-			[]float64{-0.10, -0.05, -0.02, -0.005, 0.005, 0.02, 0.05, 0.10})
-		if err != nil {
-			return err
-		}
-		fmt.Print(m.Render())
-		return nil
+		return printCampaign(ctx, testbench.Spec{
+			Campaign: "faults",
+			Params:   testbench.FaultsParams{Tol: tol},
+		})
 	case "yield":
-		dec, err := testbench.CalibrateMultiParam(sys, tol)
-		if err != nil {
-			return err
-		}
-		y, err := testbench.RunYield(sys, dec, 400, 0.02, tol, 11)
-		if err != nil {
-			return err
-		}
-		fmt.Print(y.Render())
-		return nil
+		return printCampaign(ctx, testbench.Spec{
+			Campaign: "yield",
+			Seed:     11,
+			Params:   testbench.YieldParams{N: 400, ComponentSigma: 0.02, Tol: tol},
+		})
 	case "selftest":
-		dec, err := sys.CalibrateFromTolerance(tol, 9)
-		if err != nil {
-			return err
-		}
-		st, err := testbench.RunSelfTest(sys, dec)
-		if err != nil {
-			return err
-		}
-		fmt.Print(st.Render())
-		return nil
-	case "stimopt":
-		opt, err := testbench.RunStimOpt(sys, 0.05, 6)
-		if err != nil {
-			return err
-		}
-		fmt.Print(opt.Render())
-		return nil
-	case "noisesweep":
-		ns, err := testbench.RunNoiseSweep(sys,
-			[]float64{0.002, 0.005, 0.01, 0.02},
-			[]float64{0.005, 0.01, 0.02, 0.05, 0.10}, 10, 7)
-		if err != nil {
-			return err
-		}
-		fmt.Print(ns.Render())
-		return nil
+		return printCampaign(ctx, testbench.Spec{
+			Campaign: "selftest",
+			Params:   testbench.SelfTestParams{Tol: tol},
+		})
 	default:
 		return fmt.Errorf("unknown extension %q (want q, faults, temp, spectral, metric, noisesweep, yield, stimopt, selftest or corners)", ext)
 	}
 }
 
-func run(fig, tab int, shift, tol float64, points int, mc bool, monIdx, dies int, noise bool, abl string, seed uint64) error {
-	sys := core.Default()
+func run(ctx context.Context, fig, tab int, shift, tol float64, points int, mc bool, monIdx, dies int, noise bool, abl string, seed uint64) error {
 	switch {
 	case noise:
-		n, err := testbench.RunNoiseDetection(sys, 0.005,
-			[]float64{0.005, 0.01, 0.02, 0.05}, 20, 20, seed)
-		if err != nil {
-			return err
-		}
-		fmt.Print(n.Render())
-		return nil
+		return printCampaign(ctx, testbench.Spec{Campaign: "noise", Seed: seed})
 	case abl == "linear":
-		a, err := testbench.RunAblLinear(sys, []float64{-0.15, -0.10, -0.05, -0.02, 0.02, 0.05, 0.10, 0.15})
-		if err != nil {
-			return err
-		}
-		fmt.Print(a.Render())
-		return nil
+		return printCampaign(ctx, testbench.Spec{Campaign: "linear"})
 	case abl == "counter":
-		a, err := testbench.RunAblCounter(sys, shift, []int{8, 12, 16}, []float64{1e6, 10e6, 100e6})
-		if err != nil {
-			return err
-		}
-		fmt.Print(a.Render())
-		return nil
+		return printCampaign(ctx, testbench.Spec{
+			Campaign: "counter",
+			Params:   map[string]any{"shift": shift},
+		})
 	case abl == "regress":
-		a, err := testbench.RunAblRegression(sys,
-			[]float64{-0.20, -0.15, -0.10, -0.06, -0.03, 0, 0.03, 0.06, 0.10, 0.15, 0.20},
-			[]float64{-0.12, -0.04, 0.07, 0.12})
-		if err != nil {
-			return err
-		}
-		fmt.Print(a.Render())
-		return nil
+		return printCampaign(ctx, testbench.Spec{Campaign: "regress"})
 	case abl != "":
 		return fmt.Errorf("unknown ablation %q (want linear, counter or regress)", abl)
 	case tab == 1:
-		fmt.Print(testbench.RunTable1().Render())
-		return nil
+		return printCampaign(ctx, testbench.Spec{Campaign: "table1"})
 	case fig == 1:
-		f, err := testbench.RunFig1(sys, shift, 512)
-		if err != nil {
-			return err
-		}
-		fmt.Print(f.CSV())
-		return nil
+		return printCampaign(ctx, testbench.Spec{
+			Campaign: "fig1",
+			Params:   testbench.Fig1Params{Shift: shift, Points: 512},
+		})
 	case fig == 4 && mc:
-		f, err := testbench.RunFig4MC(monIdx-1, dies, points, seed)
-		if err != nil {
-			return err
-		}
-		fmt.Print(f.Render())
-		return nil
+		return printCampaign(ctx, testbench.Spec{
+			Campaign: "fig4mc",
+			Seed:     seed,
+			Params:   testbench.Fig4MCParams{Monitor: monIdx - 1, Dies: dies, Cols: points},
+		})
 	case fig == 4:
-		f, err := testbench.RunFig4(points)
-		if err != nil {
-			return err
-		}
-		fmt.Print(f.CSV())
-		return nil
+		return printCampaign(ctx, testbench.Spec{
+			Campaign: "fig4",
+			Params:   testbench.Fig4Params{Points: points},
+		})
 	case fig == 6:
-		f, err := testbench.RunFig6(sys, shift, 101)
-		if err != nil {
+		if err := printCampaign(ctx, testbench.Spec{
+			Campaign: "fig6",
+			Params:   testbench.Fig6Params{Shift: shift, Grid: 101},
+		}); err != nil {
 			return err
 		}
-		fmt.Print(f.Render())
-		zm, err := zone.Build(sys.Bank, 0, 1, 101)
+		zm, err := zone.Build(core.Default().Bank, 0, 1, 101)
 		if err != nil {
 			return err
 		}
@@ -223,20 +153,22 @@ func run(fig, tab int, shift, tol float64, points int, mc bool, monIdx, dies int
 		fmt.Print(zm.ASCIIArt(72, 36))
 		return nil
 	case fig == 7:
-		f, err := testbench.RunFig7(sys, shift, 400)
+		res, err := testbench.Run(ctx, testbench.Spec{
+			Campaign: "fig7",
+			Params:   testbench.Fig7Params{Shift: shift, Points: 400},
+		})
 		if err != nil {
 			return err
 		}
+		f := res.Payload.(*testbench.Fig7)
 		fmt.Print(f.Render())
 		fmt.Print(f.CSV())
 		return nil
 	case fig == 8:
-		f, err := testbench.RunFig8(sys, 0.20, points, tol)
-		if err != nil {
-			return err
-		}
-		fmt.Print(f.Render())
-		return nil
+		return printCampaign(ctx, testbench.Spec{
+			Campaign: "fig8",
+			Params:   testbench.Fig8Params{MaxDev: 0.20, Points: points, Tol: tol},
+		})
 	default:
 		return fmt.Errorf("nothing selected; use -fig, -tab, -noise or -abl (see -h)")
 	}

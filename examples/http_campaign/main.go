@@ -1,0 +1,150 @@
+// http_campaign demonstrates the campaign-as-a-service path end to end,
+// in one process: it mounts the mcserved HTTP engine on an ephemeral
+// port, discovers the campaign catalogue over the wire, submits a
+// declarative spec as JSON, follows the job's streamed progress, decodes
+// the typed result envelope, and finally shows mid-flight cancellation —
+// the same five calls a dashboard or a test-floor controller would make
+// against a long-running mcserved.
+//
+// Run with: go run ./examples/http_campaign
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/testbench"
+)
+
+func main() {
+	// The same engine cmd/mcserved wraps, on a test listener.
+	engine := serve.New(context.Background())
+	defer engine.Close()
+	ts := httptest.NewServer(engine.Handler())
+	defer ts.Close()
+	fmt.Printf("campaign service on %s\n", ts.URL)
+
+	// 1. Discover the catalogue: names, param schemas, defaults — all
+	// reflected straight out of the registry.
+	var infos []testbench.Info
+	mustGetJSON(ts.URL+"/v1/campaigns", &infos)
+	fmt.Printf("\ncatalogue: %d campaigns, e.g.:\n", len(infos))
+	for _, info := range infos {
+		if info.Name == "fig4mc" || info.Name == "yield" {
+			fmt.Printf("  %-8s %s\n", info.Name, info.Summary)
+			for _, p := range info.Params {
+				def, _ := json.Marshal(p.Default)
+				fmt.Printf("      %-16s %-10s default %s\n", p.Name, p.Type, def)
+			}
+		}
+	}
+
+	// 2. Submit a spec. This is literally the JSON a curl command or a
+	// remote controller would POST.
+	spec := `{"campaign":"fig4mc","seed":7,"workers":4,"params":{"monitor":2,"dies":200,"cols":13}}`
+	fmt.Printf("\nPOST /v1/campaigns\n  %s\n", spec)
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(spec))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var job serve.JobStatus
+	mustDecode(resp, &job)
+	fmt.Printf("accepted as %s (state %s)\n", job.ID, job.State)
+
+	// 3. Stream progress over the SSE endpoint until the job finishes.
+	fmt.Printf("\nGET /v1/jobs/%s/events\n", job.ID)
+	events, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var final serve.JobStatus
+	scanner := bufio.NewScanner(events.Body)
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &final); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  event: state=%s progress=%d/%d\n",
+			final.State, final.Progress.Done, final.Progress.Total)
+	}
+	events.Body.Close()
+
+	// 4. The terminal frame carries the uniform Result envelope; decode
+	// it back into the typed payload through the registry.
+	if final.State != serve.StateDone || final.Result == nil {
+		log.Fatalf("job ended %q: %s", final.State, final.Error)
+	}
+	raw, err := json.Marshal(final.Result)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := testbench.DecodeResult(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	env := res.Payload.(*testbench.Fig4MC)
+	fmt.Printf("\nresult decoded as %T (elapsed %v, workers %d):\n",
+		env, res.Elapsed.Round(time.Millisecond), res.Workers)
+	fmt.Printf("  nominal boundary inside the 95%% envelope at %.0f%% of columns\n",
+		100*env.NominalInsideEnvelope())
+
+	// 5. Cancellation: submit a deliberately huge yield campaign and
+	// abort it mid-flight through the API.
+	big := `{"campaign":"yield","seed":3,"params":{"n":1000000,"threshold":0.03}}`
+	resp, err = http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(big))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mustDecode(resp, &job)
+	fmt.Printf("\nsubmitted a 1M-die yield campaign as %s; cancelling it...\n", job.ID)
+	for {
+		var cur serve.JobStatus
+		mustGetJSON(ts.URL+"/v1/jobs/"+job.ID, &cur)
+		if cur.Progress.Done > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err = http.Post(ts.URL+"/v1/jobs/"+job.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	for {
+		var cur serve.JobStatus
+		mustGetJSON(ts.URL+"/v1/jobs/"+job.ID, &cur)
+		if cur.State != serve.StateRunning {
+			fmt.Printf("job %s ended %q after %d of %d dies\n",
+				job.ID, cur.State, cur.Progress.Done, cur.Progress.Total)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func mustGetJSON(url string, into any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mustDecode(resp, into)
+}
+
+func mustDecode(resp *http.Response, into any) {
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		log.Fatal(err)
+	}
+}

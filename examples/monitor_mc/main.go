@@ -1,28 +1,41 @@
-// monitor_mc regenerates the Fig. 4 study: the six Table I control
-// curves traced from the monitor model, cross-checked at transistor level
-// with the MNA simulator, plus a Monte Carlo process/mismatch envelope —
-// the paper's validation that measured boundaries lie in the predicted
-// Monte Carlo range.
+// monitor_mc regenerates the Fig. 4 study on the declarative campaign
+// API: the six Table I control curves traced from the monitor model,
+// cross-checked at transistor level with the MNA simulator, plus a Monte
+// Carlo process/mismatch envelope — the paper's validation that measured
+// boundaries lie in the predicted Monte Carlo range.
+//
+// Every experiment here is one testbench.Spec resolved through the
+// campaign registry with Run(ctx, spec) — the same specs mcmon -campaign
+// takes on the command line and mcserved accepts as JSON over HTTP.
 //
 // Run with: go run ./examples/monitor_mc
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 	"runtime"
+	"sync/atomic"
 
 	"repro/internal/monitor"
 	"repro/internal/testbench"
 )
 
 func main() {
-	// Nominal boundary traces of all six Table I configurations.
-	fig, err := testbench.RunFig4(21)
+	ctx := context.Background()
+
+	// Nominal boundary traces of all six Table I configurations, as a
+	// registry campaign.
+	res, err := testbench.Run(ctx, testbench.Spec{
+		Campaign: "fig4",
+		Params:   testbench.Fig4Params{Points: 21},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fig := res.Payload.(*testbench.Fig4)
 	fmt.Println("Table I control curves (analytic current-balance model):")
 	for i, pts := range fig.Curves {
 		fmt.Printf("  curve %d (%s): %d boundary points", i+1, fig.Names[i], len(pts))
@@ -54,21 +67,39 @@ func main() {
 			x, ya, ys, math.Abs(ya-ys))
 	}
 
-	// Monte Carlo envelope (process corners + Pelgrom mismatch). The 300
-	// dies fan out across the campaign worker pool — all CPUs here, but
-	// any worker count (RunFig4MCWorkers) renders the identical envelope,
-	// because every die draws from its own index-derived random stream.
-	env, err := testbench.RunFig4MCWorkers(2, 300, 15, 7, runtime.NumCPU())
+	// Monte Carlo envelope (process corners + Pelgrom mismatch) with live
+	// progress. The 300 dies fan out across the campaign worker pool —
+	// all CPUs here, but any worker bound in the spec renders the
+	// identical envelope, because every die draws from its own
+	// index-derived random stream.
+	spec := testbench.Spec{
+		Campaign: "fig4mc",
+		Seed:     7,
+		Workers:  runtime.NumCPU(),
+		Params:   testbench.Fig4MCParams{Monitor: 2, Dies: 300, Cols: 15},
+	}
+	var lastPct atomic.Int64 // progress callbacks arrive concurrently from the workers
+	envRes, err := testbench.Run(ctx, spec, testbench.WithProgress(func(done, total int) {
+		pct := int64(100 * done / total)
+		if last := lastPct.Load(); pct >= last+25 && lastPct.CompareAndSwap(last, pct) {
+			fmt.Printf("  ... %d/%d dies\n", done, total)
+		}
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nMC envelope over 300 dies (%d workers):\n", runtime.NumCPU())
-	fmt.Print(env.Render())
-	serial, err := testbench.RunFig4MCWorkers(2, 300, 15, 7, 1)
+	fmt.Printf("\nMC envelope over 300 dies (%d workers, %v):\n",
+		envRes.Workers, envRes.Elapsed.Round(1e6))
+	fmt.Print(envRes.Text)
+
+	// Re-run the same spec single-worker: the campaign engine's
+	// bit-reproducibility contract says the rendering cannot change.
+	spec.Workers = 1
+	serial, err := testbench.Run(ctx, spec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("single-worker rerun identical: %v\n", serial.Render() == env.Render())
+	fmt.Printf("single-worker rerun identical: %v\n", serial.Text == envRes.Text)
 
 	// Area accounting from the published layout numbers.
 	est := monitor.EstimateArea(cfg)

@@ -15,11 +15,19 @@
 //     order regardless of completion order;
 //   - the first error is reported by trial index, not by wall-clock
 //     arrival.
+//
+// Runs are cancellable: both entry points take a context.Context and stop
+// dispatching new trials as soon as it is done, returning ctx.Err() after
+// the in-flight trials finish — so a cancelled campaign aborts within one
+// trial's latency and leaks no goroutines. Progress is observable through
+// Engine.Progress without affecting results.
 package campaign
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/rng"
 )
@@ -35,6 +43,11 @@ type Engine struct {
 	// streams (to stay bit-compatible with an older serial seeding
 	// order) never consult it.
 	Seed uint64
+	// Progress, when non-nil, is invoked after every completed trial with
+	// the number of trials finished so far and the total trial count. It
+	// may be called concurrently from several workers and must not block;
+	// it observes the run but never affects its results.
+	Progress func(done, total int)
 }
 
 // Stream returns trial i's private random substream — a pure function of
@@ -61,9 +74,10 @@ func (e Engine) poolSize(n int) int {
 // results in trial order. A trial needing randomness derives its private
 // substream with e.Stream(i); it must not touch state shared with other
 // trials. On failure the error of the lowest-index failing trial is
-// returned.
-func Run[T any](e Engine, n int, trial func(i int) (T, error)) ([]T, error) {
-	return RunScratch(e, n,
+// returned; when ctx is cancelled mid-run, no further trials start and
+// ctx.Err() is returned once the in-flight trials drain.
+func Run[T any](ctx context.Context, e Engine, n int, trial func(i int) (T, error)) ([]T, error) {
+	return RunScratch(ctx, e, n,
 		func() struct{} { return struct{}{} },
 		func(i int, _ struct{}) (T, error) { return trial(i) })
 }
@@ -74,19 +88,33 @@ func Run[T any](e Engine, n int, trial func(i int) (T, error)) ([]T, error) {
 // so trial fan-out does not multiply allocations. Scratch must not affect
 // results — a trial reading stale scratch contents would break the
 // worker-count independence the engine guarantees.
-func RunScratch[T, S any](e Engine, n int, newScratch func() S, trial func(i int, scratch S) (T, error)) ([]T, error) {
+func RunScratch[T, S any](ctx context.Context, e Engine, n int, newScratch func() S, trial func(i int, scratch S) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make([]T, n)
 	errs := make([]error, n)
+	var done atomic.Int64
+	tick := func() {
+		d := done.Add(1)
+		if e.Progress != nil {
+			e.Progress(int(d), n)
+		}
+	}
 	workers := e.poolSize(n)
 	if workers == 1 {
 		scratch := newScratch()
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			out[i], errs[i] = trial(i, scratch)
+			tick()
 		}
-		return collect(out, errs)
+		return collect(ctx, out, errs)
 	}
 	next := make(chan int)
 	var wg sync.WaitGroup
@@ -96,20 +124,41 @@ func RunScratch[T, S any](e Engine, n int, newScratch func() S, trial func(i int
 			defer wg.Done()
 			scratch := newScratch()
 			for i := range next {
+				// A cancelled context stops the work, not the drain: the
+				// feeder may already have queued this index, so skip the
+				// trial but keep consuming until the channel closes.
+				if ctx.Err() != nil {
+					continue
+				}
 				out[i], errs[i] = trial(i, scratch)
+				tick()
 			}
 		}()
 	}
+	cancelled := false
+feed:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			cancelled = true
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
-	return collect(out, errs)
+	if cancelled {
+		return nil, ctx.Err()
+	}
+	return collect(ctx, out, errs)
 }
 
-// collect returns the results, or the lowest-index trial error.
-func collect[T any](out []T, errs []error) ([]T, error) {
+// collect returns the results, or the lowest-index trial error; a context
+// cancelled while the last trials were draining wins over partial output.
+func collect[T any](ctx context.Context, out []T, errs []error) ([]T, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

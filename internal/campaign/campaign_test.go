@@ -1,24 +1,29 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // Results must be identical at any worker count and land in trial order.
 func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	ctx := context.Background()
 	e := Engine{Workers: 1, Seed: 42}
 	trial := func(i int) (float64, error) {
 		return float64(i) + e.Stream(i).Float64(), nil
 	}
-	ref, err := Run(e, 64, trial)
+	ref, err := Run(ctx, e, 64, trial)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, w := range []int{2, 4, 8, 0} {
-		got, err := Run(Engine{Workers: w, Seed: 42}, 64, trial)
+		got, err := Run(ctx, Engine{Workers: w, Seed: 42}, 64, trial)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -57,7 +62,7 @@ func TestEngineStreams(t *testing.T) {
 func TestFirstErrorByTrialIndex(t *testing.T) {
 	sentinel := errors.New("boom")
 	for _, w := range []int{1, 4} {
-		_, err := Run(Engine{Workers: w}, 32, func(i int) (int, error) {
+		_, err := Run(context.Background(), Engine{Workers: w}, 32, func(i int) (int, error) {
 			if i%3 == 2 { // trials 2, 5, 8, ... fail
 				return 0, fmt.Errorf("trial %d: %w", i, sentinel)
 			}
@@ -76,7 +81,7 @@ func TestFirstErrorByTrialIndex(t *testing.T) {
 func TestRunScratchReuse(t *testing.T) {
 	workers := 4
 	made := make(chan struct{}, 128)
-	_, err := RunScratch(Engine{Workers: workers}, 100,
+	_, err := RunScratch(context.Background(), Engine{Workers: workers}, 100,
 		func() []float64 { made <- struct{}{}; return make([]float64, 8) },
 		func(i int, scratch []float64) (int, error) {
 			scratch[0] = float64(i) // scribble: next trial must not care
@@ -91,12 +96,100 @@ func TestRunScratchReuse(t *testing.T) {
 }
 
 func TestEmptyAndSingleTrial(t *testing.T) {
-	out, err := Run(Engine{}, 0, func(i int) (int, error) { return i, nil })
+	ctx := context.Background()
+	out, err := Run(ctx, Engine{}, 0, func(i int) (int, error) { return i, nil })
 	if err != nil || out != nil {
 		t.Fatalf("empty campaign: %v, %v", out, err)
 	}
-	out, err = Run(Engine{Workers: runtime.NumCPU()}, 1, func(i int) (int, error) { return 99, nil })
+	out, err = Run(ctx, Engine{Workers: runtime.NumCPU()}, 1, func(i int) (int, error) { return 99, nil })
 	if err != nil || len(out) != 1 || out[0] != 99 {
 		t.Fatalf("single trial: %v, %v", out, err)
+	}
+}
+
+// A context cancelled before the run starts aborts immediately.
+func TestRunAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := atomic.Int64{}
+	_, err := Run(ctx, Engine{Workers: 4}, 100, func(i int) (int, error) {
+		ran.Add(1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("%d trials ran under a cancelled context", n)
+	}
+}
+
+// Cancelling mid-flight returns context.Canceled within roughly one
+// trial's latency and leaks no goroutines — the worker pool drains fully.
+func TestRunCancelMidFlightPromptAndLeakFree(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		before := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		var once sync.Once
+		started := make(chan struct{})
+		type result struct {
+			err error
+		}
+		doneCh := make(chan result, 1)
+		go func() {
+			_, err := Run(ctx, Engine{Workers: workers, Progress: func(done, total int) {
+				once.Do(func() { close(started) })
+			}}, 10_000, func(i int) (int, error) {
+				time.Sleep(200 * time.Microsecond) // one trial's latency
+				return i, nil
+			})
+			doneCh <- result{err: err}
+		}()
+		<-started
+		cancel()
+		select {
+		case r := <-doneCh:
+			if !errors.Is(r.err, context.Canceled) {
+				t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, r.err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("workers=%d: cancellation not honoured within 5s", workers)
+		}
+		// The pool must have drained: allow the runtime a moment to retire
+		// the worker goroutines, then require the count back near baseline.
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if got := runtime.NumGoroutine(); got > before {
+			t.Fatalf("workers=%d: %d goroutines after cancel, started with %d", workers, got, before)
+		}
+	}
+}
+
+// Progress reports every completed trial exactly once and ends at (n, n).
+func TestProgressReporting(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		var calls atomic.Int64
+		var sawFinal atomic.Bool
+		n := 50
+		_, err := Run(context.Background(), Engine{Workers: workers, Progress: func(done, total int) {
+			calls.Add(1)
+			if total != n {
+				t.Errorf("total = %d, want %d", total, n)
+			}
+			if done == n {
+				sawFinal.Store(true)
+			}
+		}}, n, func(i int) (int, error) { return i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := calls.Load(); got != int64(n) {
+			t.Fatalf("workers=%d: %d progress calls, want %d", workers, got, n)
+		}
+		if !sawFinal.Load() {
+			t.Fatalf("workers=%d: final (n, n) progress call missing", workers)
+		}
 	}
 }

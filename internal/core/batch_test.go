@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/monitor"
 	"repro/internal/rng"
 	"repro/internal/signature"
@@ -153,12 +155,12 @@ func TestBatchedAveragedNDFBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	const periods = 4
-	want, err := scalar.AveragedNDFWorkers(cs, 0.005, rng.New(9), periods, 1)
+	want, err := scalar.AveragedNDFCtx(context.Background(), cs, 0.005, rng.New(9), periods, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 2, 7} {
-		got, err := batched.AveragedNDFWorkers(cb, 0.005, rng.New(9), periods, workers)
+		got, err := batched.AveragedNDFCtx(context.Background(), cb, 0.005, rng.New(9), periods, workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -180,12 +182,12 @@ func TestBatchedAveragedNDFBitIdentical(t *testing.T) {
 func TestBatchedSweepF0BitIdentical(t *testing.T) {
 	batched, scalar := Default(), scalarTwin()
 	shifts := []float64{-0.15, -0.05, 0, 0.03, 0.12}
-	want, err := scalar.SweepF0Workers(shifts, 1)
+	want, err := scalar.SweepF0Ctx(context.Background(), shifts, campaign.Engine{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 3} {
-		got, err := batched.SweepF0Workers(shifts, workers)
+		got, err := batched.SweepF0Ctx(context.Background(), shifts, campaign.Engine{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -18,8 +18,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 
 	"repro/internal/biquad"
@@ -224,9 +226,14 @@ func DefaultSpice() (*System, error) {
 	return s, nil
 }
 
+// Backends lists the registered CUT backend names, in the order the
+// -backend flags and campaign specs document them. The empty spec value
+// resolves to the first entry.
+func Backends() []string { return []string{"analytic", "spice"} }
+
 // SystemForBackend returns the paper's reference system on the named
 // CUT backend ("analytic" or "spice") — the shared resolver behind the
-// CLIs' -backend flags.
+// CLIs' -backend flags and the campaign registry's spec field.
 func SystemForBackend(name string) (*System, error) {
 	switch name {
 	case "analytic":
@@ -234,7 +241,7 @@ func SystemForBackend(name string) (*System, error) {
 	case "spice":
 		return DefaultSpice()
 	default:
-		return nil, fmt.Errorf("core: unknown CUT backend %q (want analytic or spice)", name)
+		return nil, fmt.Errorf("core: unknown CUT backend %q (want %s)", name, strings.Join(Backends(), " or "))
 	}
 }
 
@@ -511,18 +518,19 @@ func (s *System) NDFOfShift(shift float64) (float64, error) {
 // in parallel across all CPUs; the output order matches shifts and the
 // result is deterministic.
 func (s *System) SweepF0(shifts []float64) ([]float64, error) {
-	return s.SweepF0Workers(shifts, 0)
+	return s.SweepF0Ctx(context.Background(), shifts, campaign.Engine{})
 }
 
-// SweepF0Workers is SweepF0 with an explicit worker-pool bound
-// (0 = all CPUs). The result is identical at any worker count.
-func (s *System) SweepF0Workers(shifts []float64, workers int) ([]float64, error) {
+// SweepF0Ctx is SweepF0 under an explicit context and campaign engine
+// (worker bound, progress). Cancelling ctx aborts the sweep within one
+// trial's latency; the result is identical at any worker count.
+func (s *System) SweepF0Ctx(ctx context.Context, shifts []float64, eng campaign.Engine) ([]float64, error) {
 	// The golden signature must be materialized before fan-out so the
 	// sync.Once does not serialize the workers.
 	if _, err := s.GoldenSignature(); err != nil {
 		return nil, err
 	}
-	return campaign.RunScratch(campaign.Engine{Workers: workers}, len(shifts),
+	return campaign.RunScratch(ctx, eng, len(shifts),
 		NewTrialScratch,
 		func(i int, sc *TrialScratch) (float64, error) {
 			c, err := s.Shifted(shifts[i])
@@ -548,15 +556,15 @@ func (s *System) SweepF0Workers(shifts []float64, workers int) ([]float64, error
 // the substream noise.Split(k), so the periods fan out across the
 // campaign pool and the average is deterministic at any worker count.
 func (s *System) AveragedNDF(c CUT, sigma float64, noise *rng.Stream, periods int) (float64, error) {
-	return s.AveragedNDFWorkers(c, sigma, noise, periods, 0)
+	return s.AveragedNDFCtx(context.Background(), c, sigma, noise, periods, 0)
 }
 
-// AveragedNDFWorkers is AveragedNDF with an explicit worker-pool bound
-// (0 = all CPUs). Campaign runners that already fan trials out pass 1 so
-// the outer pool alone owns the parallelism (or, better, carry a
+// AveragedNDFCtx is AveragedNDF under an explicit context and worker-pool
+// bound (0 = all CPUs). Campaign runners that already fan trials out pass
+// 1 so the outer pool alone owns the parallelism (or, better, carry a
 // per-worker scratch and call AveragedNDFScratch).
-func (s *System) AveragedNDFWorkers(c CUT, sigma float64, noise *rng.Stream, periods, workers int) (float64, error) {
-	return s.averagedNDF(c, sigma, noise, periods, workers, nil)
+func (s *System) AveragedNDFCtx(ctx context.Context, c CUT, sigma float64, noise *rng.Stream, periods, workers int) (float64, error) {
+	return s.averagedNDF(ctx, c, sigma, noise, periods, workers, nil)
 }
 
 // AveragedNDFScratch is AveragedNDF running the periods serially with
@@ -564,7 +572,7 @@ func (s *System) AveragedNDFWorkers(c CUT, sigma float64, noise *rng.Stream, per
 // worker pools, so every trial a worker executes reuses one set of
 // buffers. Scratch never affects the result.
 func (s *System) AveragedNDFScratch(c CUT, sigma float64, noise *rng.Stream, periods int, sc *TrialScratch) (float64, error) {
-	return s.averagedNDF(c, sigma, noise, periods, 1, sc)
+	return s.averagedNDF(context.Background(), c, sigma, noise, periods, 1, sc)
 }
 
 // averagedNDF implements the AveragedNDF variants. In the batched engine
@@ -572,7 +580,7 @@ func (s *System) AveragedNDFScratch(c CUT, sigma float64, noise *rng.Stream, per
 // read-only by every period's capture (each period only adds its own
 // noise draws on top), which is where most of the per-period work of the
 // scalar pipeline went.
-func (s *System) averagedNDF(c CUT, sigma float64, noise *rng.Stream, periods, workers int, sc *TrialScratch) (float64, error) {
+func (s *System) averagedNDF(ctx context.Context, c CUT, sigma float64, noise *rng.Stream, periods, workers int, sc *TrialScratch) (float64, error) {
 	if periods < 1 {
 		periods = 1
 	}
@@ -638,7 +646,7 @@ func (s *System) averagedNDF(c CUT, sigma float64, noise *rng.Stream, periods, w
 			return ndf.NDF(obs, g)
 		}
 	}
-	vals, err := campaign.RunScratch(campaign.Engine{Workers: workers}, periods, newScratch, trial)
+	vals, err := campaign.RunScratch(ctx, campaign.Engine{Workers: workers}, periods, newScratch, trial)
 	if err != nil {
 		return 0, err
 	}
@@ -676,6 +684,13 @@ func (s *System) Test(c CUT, dec ndf.Decision, sigma float64, noise *rng.Stream)
 // acceptance threshold at the NDF of the tolerance edges — the Fig. 8
 // PASS/FAIL band construction.
 func (s *System) CalibrateFromTolerance(tol float64, gridPoints int) (ndf.Decision, error) {
+	return s.CalibrateFromToleranceCtx(context.Background(), tol, gridPoints, campaign.Engine{})
+}
+
+// CalibrateFromToleranceCtx is CalibrateFromTolerance under an explicit
+// context and campaign engine; the calibration sweep is cancellable and
+// bit-identical at any worker count.
+func (s *System) CalibrateFromToleranceCtx(ctx context.Context, tol float64, gridPoints int, eng campaign.Engine) (ndf.Decision, error) {
 	if gridPoints < 3 {
 		gridPoints = 9
 	}
@@ -683,7 +698,7 @@ func (s *System) CalibrateFromTolerance(tol float64, gridPoints int) (ndf.Decisi
 	for i := range devs {
 		devs[i] = -tol*2 + 4*tol*float64(i)/float64(gridPoints-1)
 	}
-	ndfs, err := s.SweepF0(devs)
+	ndfs, err := s.SweepF0Ctx(ctx, devs, eng)
 	if err != nil {
 		return ndf.Decision{}, err
 	}

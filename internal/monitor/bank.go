@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -150,12 +151,17 @@ func (b *Bank) Perturbed(die *mos.Die) *Bank {
 // derives its own random stream from its index, so the result is
 // bit-identical regardless of scheduling or worker count.
 func (b *Bank) MCEnvelope(mi int, variation mos.Variation, src *rng.Stream, nDies, nCols int) (xs []float64, ys [][]float64) {
-	return b.MCEnvelopeWorkers(mi, variation, src, nDies, nCols, 0)
+	xs, ys, err := b.MCEnvelopeCtx(context.Background(), mi, variation, src, nDies, nCols, campaign.Engine{})
+	if err != nil {
+		panic(err) // a background context never cancels; trials are error-free
+	}
+	return xs, ys
 }
 
-// MCEnvelopeWorkers is MCEnvelope with an explicit worker-pool bound
-// (0 = all CPUs).
-func (b *Bank) MCEnvelopeWorkers(mi int, variation mos.Variation, src *rng.Stream, nDies, nCols, workers int) (xs []float64, ys [][]float64) {
+// MCEnvelopeCtx is MCEnvelope under an explicit context and campaign
+// engine (worker bound, progress). The only error it can return is the
+// context's, once cancellation stops the die fan-out.
+func (b *Bank) MCEnvelopeCtx(ctx context.Context, mi int, variation mos.Variation, src *rng.Stream, nDies, nCols int, eng campaign.Engine) (xs []float64, ys [][]float64, err error) {
 	a, ok := b.monitors[mi].(*Analytic)
 	if !ok {
 		panic("monitor: MCEnvelope requires an analytic monitor")
@@ -171,7 +177,7 @@ func (b *Bank) MCEnvelopeWorkers(mi int, variation mos.Variation, src *rng.Strea
 		streams[d] = src.Split(uint64(d))
 	}
 	// Per-die boundary columns (NaN = no crossing), in die order.
-	cols, err := campaign.Run(campaign.Engine{Workers: workers}, nDies,
+	cols, err := campaign.Run(ctx, eng, nDies,
 		func(d int) ([]float64, error) {
 			die := variation.SampleDie(streams[d])
 			devs := a.Devices()
@@ -190,7 +196,7 @@ func (b *Bank) MCEnvelopeWorkers(mi int, variation mos.Variation, src *rng.Strea
 			return col, nil
 		})
 	if err != nil {
-		panic(err) // trials are error-free by construction
+		return nil, nil, err
 	}
 	ys = make([][]float64, nCols)
 	for _, col := range cols {
@@ -200,5 +206,5 @@ func (b *Bank) MCEnvelopeWorkers(mi int, variation mos.Variation, src *rng.Strea
 			}
 		}
 	}
-	return xs, ys
+	return xs, ys, nil
 }

@@ -1,10 +1,12 @@
 package testbench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 )
 
@@ -27,18 +29,29 @@ type BackendAgreement struct {
 
 // RunBackendAgreement sweeps the given f0 shifts on a default analytic
 // system and a default SPICE system sharing stimulus, bank and capture.
+// It is a thin wrapper over the campaign registry ("backends", which
+// builds both systems itself and ignores the spec backend).
 func RunBackendAgreement(shifts []float64) (*BackendAgreement, error) {
+	return runAs[BackendAgreement](context.Background(), Spec{
+		Campaign: "backends",
+		Params:   BackendsParams{Shifts: shifts},
+	})
+}
+
+// runBackendAgreement is the registry implementation behind
+// RunBackendAgreement.
+func runBackendAgreement(ctx context.Context, shifts []float64, eng campaign.Engine) (*BackendAgreement, error) {
 	ana := core.Default()
 	spc, err := core.DefaultSpice()
 	if err != nil {
 		return nil, err
 	}
 	out := &BackendAgreement{Shifts: shifts}
-	out.AnalyticNDF, err = ana.SweepF0(shifts)
+	out.AnalyticNDF, err = ana.SweepF0Ctx(ctx, shifts, eng)
 	if err != nil {
 		return nil, err
 	}
-	out.SpiceNDF, err = spc.SweepF0(shifts)
+	out.SpiceNDF, err = spc.SweepF0Ctx(ctx, shifts, eng)
 	if err != nil {
 		return nil, err
 	}

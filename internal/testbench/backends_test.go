@@ -1,12 +1,12 @@
 package testbench
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"repro/internal/biquad"
 	"repro/internal/core"
-	"repro/internal/ndf"
 )
 
 // TestBackendAgreement is the campaign-level cross-validation: the full
@@ -80,6 +80,7 @@ func TestSpiceBackendDeterministicAcrossWorkers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("SPICE determinism campaign skipped under -short")
 	}
+	thr := 0.02
 	run := func(workers int) string {
 		sys, err := core.DefaultSpice()
 		if err != nil {
@@ -87,7 +88,11 @@ func TestSpiceBackendDeterministicAcrossWorkers(t *testing.T) {
 		}
 		// A fixed threshold keeps the test on the campaign itself, not
 		// the calibration sweep.
-		tab, err := RunFaultTableWorkers(sys, ndf.Decision{Threshold: 0.02}, DefaultFaultSet(), workers)
+		tab, err := runAs[FaultTable](context.Background(), Spec{
+			Campaign: "faults",
+			Workers:  workers,
+			Params:   FaultsParams{Threshold: &thr},
+		}, WithSystem(sys))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,8 +1,10 @@
 package testbench
 
 import (
+	"context"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/ndf"
 	"repro/internal/rng"
@@ -35,12 +37,12 @@ func batchedSystem(t *testing.T, backend string) *core.System {
 func TestFaultTableScalarVsBatched(t *testing.T) {
 	dec := ndf.Decision{Threshold: 0.02}
 	faults := DefaultFaultSet()
-	want, err := RunFaultTableWorkers(scalarSystem(t, "analytic"), dec, faults, 1)
+	want, err := runFaultTable(context.Background(), scalarSystem(t, "analytic"), dec, faults, campaign.Engine{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 4} {
-		got, err := RunFaultTableWorkers(batchedSystem(t, "analytic"), dec, faults, workers)
+		got, err := runFaultTable(context.Background(), batchedSystem(t, "analytic"), dec, faults, campaign.Engine{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -107,11 +109,11 @@ func TestSpiceBackendScalarVsBatched(t *testing.T) {
 		t.Skip("SPICE campaign in -short mode")
 	}
 	shifts := []float64{-0.10, 0, 0.10}
-	want, err := scalarSystem(t, "spice").SweepF0Workers(shifts, 1)
+	want, err := scalarSystem(t, "spice").SweepF0Ctx(context.Background(), shifts, campaign.Engine{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := batchedSystem(t, "spice").SweepF0Workers(shifts, 2)
+	got, err := batchedSystem(t, "spice").SweepF0Ctx(context.Background(), shifts, campaign.Engine{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package testbench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -21,14 +22,23 @@ type CornerDrift struct {
 	NDFs    []float64
 }
 
-// RunCornerDrift evaluates all five corners.
+// RunCornerDrift evaluates all five corners. It is a thin wrapper over
+// the campaign registry ("corners").
 func RunCornerDrift(sys *core.System) (*CornerDrift, error) {
+	return runAs[CornerDrift](context.Background(), Spec{Campaign: "corners"}, WithSystem(sys))
+}
+
+// runCornerDrift is the registry implementation behind RunCornerDrift.
+func runCornerDrift(ctx context.Context, sys *core.System) (*CornerDrift, error) {
 	golden, err := sys.GoldenSignature()
 	if err != nil {
 		return nil, err
 	}
 	out := &CornerDrift{}
 	for _, c := range mos.Corners() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bank, err := bankAtCorner(c)
 		if err != nil {
 			return nil, err

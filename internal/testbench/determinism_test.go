@@ -1,14 +1,19 @@
 package testbench
 
 import (
+	"context"
 	"runtime"
 	"testing"
+
+	"repro/internal/campaign"
 )
 
 // The campaign engine's contract: every parallelized study renders
 // byte-identical output at workers=1 and workers=NumCPU (and any count
 // between). These are regression tests for the paper's reproducibility
-// claim — all figures and tables are bit-reproducible run to run.
+// claim — all figures and tables are bit-reproducible run to run — now
+// exercised through the declarative spec path, so the registry's worker
+// knob is covered by the same contract the legacy entry points had.
 
 func workerCounts() []int {
 	n := runtime.NumCPU()
@@ -20,12 +25,13 @@ func workerCounts() []int {
 
 func TestSweepF0DeterministicAcrossWorkers(t *testing.T) {
 	devs := []float64{-0.10, -0.05, 0, 0.05, 0.10}
-	ref, err := sys().SweepF0Workers(devs, 1)
+	ctx := context.Background()
+	ref, err := sys().SweepF0Ctx(ctx, devs, campaign.Engine{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, w := range workerCounts()[1:] {
-		got, err := sys().SweepF0Workers(devs, w)
+		got, err := sys().SweepF0Ctx(ctx, devs, campaign.Engine{Workers: w})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -38,15 +44,30 @@ func TestSweepF0DeterministicAcrossWorkers(t *testing.T) {
 }
 
 func TestFig4MCDeterministicAcrossWorkers(t *testing.T) {
-	ref, err := RunFig4MCWorkers(2, 40, 15, 7, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, w := range workerCounts()[1:] {
-		got, err := RunFig4MCWorkers(2, 40, 15, 7, w)
+	run := func(w int) *Fig4MC {
+		t.Helper()
+		env, err := runAs[Fig4MC](context.Background(), Spec{
+			Campaign: "fig4mc",
+			Seed:     7,
+			Workers:  w,
+			Params:   Fig4MCParams{Monitor: 2, Dies: 40, Cols: 15},
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
+		return env
+	}
+	ref := run(1)
+	// The spec path must also agree with the legacy entry point exactly.
+	legacy, err := RunFig4MC(2, 40, 15, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Render() != ref.Render() {
+		t.Fatal("legacy RunFig4MC differs from the spec path")
+	}
+	for _, w := range workerCounts()[1:] {
+		got := run(w)
 		if got.Render() != ref.Render() {
 			t.Fatalf("workers=%d: Render differs from workers=1", w)
 		}
@@ -60,18 +81,29 @@ func TestNoiseSweepDeterministicAcrossWorkers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("noise campaign too slow for -short")
 	}
-	sigmas := []float64{0.005}
-	grid := []float64{0.01, 0.02}
-	ref, err := RunNoiseSweepWorkers(sys(), sigmas, grid, 4, 7, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, w := range workerCounts()[1:] {
-		got, err := RunNoiseSweepWorkers(sys(), sigmas, grid, 4, 7, w)
+	run := func(w int) *NoiseSweep {
+		t.Helper()
+		ns, err := runAs[NoiseSweep](context.Background(), Spec{
+			Campaign: "noisesweep",
+			Seed:     7,
+			Workers:  w,
+			Params:   NoiseSweepParams{Sigmas: []float64{0.005}, DevGrid: []float64{0.01, 0.02}, Trials: 4},
+		}, WithSystem(sys()))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got.Render() != ref.Render() {
+		return ns
+	}
+	ref := run(1)
+	legacy, err := RunNoiseSweep(sys(), []float64{0.005}, []float64{0.01, 0.02}, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Render() != ref.Render() {
+		t.Fatal("legacy RunNoiseSweep differs from the spec path")
+	}
+	for _, w := range workerCounts()[1:] {
+		if got := run(w); got.Render() != ref.Render() {
 			t.Fatalf("workers=%d: Render differs from workers=1", w)
 		}
 	}

@@ -1,6 +1,7 @@
 package testbench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -21,8 +22,17 @@ type ExtQ struct {
 	BPNDF []float64
 }
 
-// RunExtQ sweeps fractional Q deviations.
+// RunExtQ sweeps fractional Q deviations. It is a thin wrapper over the
+// campaign registry ("q").
 func RunExtQ(sys *core.System, devs []float64) (*ExtQ, error) {
+	return runAs[ExtQ](context.Background(), Spec{
+		Campaign: "q",
+		Params:   QParams{Devs: devs},
+	}, WithSystem(sys))
+}
+
+// runExtQ is the registry implementation behind RunExtQ.
+func runExtQ(ctx context.Context, sys *core.System, devs []float64) (*ExtQ, error) {
 	bpSys, err := core.NewSystem(sys.Stimulus, sys.CUT, sys.Bank, sys.Capture)
 	if err != nil {
 		return nil, err
@@ -30,6 +40,9 @@ func RunExtQ(sys *core.System, devs []float64) (*ExtQ, error) {
 	bpSys.Observe = core.ObserveBP
 	out := &ExtQ{Devs: devs}
 	for _, d := range devs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		dev := core.Deviation{QShift: d}
 		lp, err := sys.NDFOfDeviation(dev)
 		if err != nil {
@@ -94,22 +107,25 @@ func DefaultFaultSet() []biquad.Fault {
 // RunFaultTable injects every fault into the golden realization (via
 // CUT.Perturb, so the injection happens at component level on whichever
 // backend the system runs — analytic model or SPICE netlist) and tests
-// the faulty circuit with the given decision threshold. The fault
-// injections are independent and fan out across the campaign pool; the
-// table rows stay in fault order.
+// the faulty circuit with the given decision threshold. It is a thin
+// wrapper over the campaign registry ("faults"); the fault injections are
+// independent, fan out across the campaign pool at any worker bound, and
+// the table rows stay in fault order.
 func RunFaultTable(sys *core.System, dec ndf.Decision, faults []biquad.Fault) (*FaultTable, error) {
-	return RunFaultTableWorkers(sys, dec, faults, 0)
+	return runAs[FaultTable](context.Background(), Spec{
+		Campaign: "faults",
+		Params:   FaultsParams{Threshold: &dec.Threshold, Faults: faults},
+	}, WithSystem(sys))
 }
 
-// RunFaultTableWorkers is RunFaultTable with an explicit worker-pool
-// bound (0 = all CPUs); the table is bit-identical at any worker count.
-func RunFaultTableWorkers(sys *core.System, dec ndf.Decision, faults []biquad.Fault, workers int) (*FaultTable, error) {
+// runFaultTable is the registry implementation behind RunFaultTable.
+func runFaultTable(ctx context.Context, sys *core.System, dec ndf.Decision, faults []biquad.Fault, eng campaign.Engine) (*FaultTable, error) {
 	// Materialize the golden signature before fan-out so the sync.Once
 	// does not serialize the workers.
 	if _, err := sys.GoldenSignature(); err != nil {
 		return nil, err
 	}
-	cases, err := campaign.RunScratch(campaign.Engine{Workers: workers}, len(faults),
+	cases, err := campaign.RunScratch(ctx, eng, len(faults),
 		core.NewTrialScratch,
 		func(i int, sc *core.TrialScratch) (FaultCase, error) {
 			f := faults[i]

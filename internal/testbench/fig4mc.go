@@ -1,9 +1,11 @@
 package testbench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/monitor"
 	"repro/internal/mos"
 	"repro/internal/rng"
@@ -23,14 +25,19 @@ type Fig4MC struct {
 }
 
 // RunFig4MC builds the envelope for Table I monitor index mi (0-based),
-// fanning the dies out across all CPUs.
+// fanning the dies out across all CPUs. It is a thin wrapper over the
+// campaign registry ("fig4mc"); spec-driven runs choose the worker bound
+// and get the bit-identical envelope at any count.
 func RunFig4MC(mi int, nDies, nCols int, seed uint64) (*Fig4MC, error) {
-	return RunFig4MCWorkers(mi, nDies, nCols, seed, 0)
+	return runAs[Fig4MC](context.Background(), Spec{
+		Campaign: "fig4mc",
+		Seed:     seed,
+		Params:   Fig4MCParams{Monitor: mi, Dies: nDies, Cols: nCols},
+	})
 }
 
-// RunFig4MCWorkers is RunFig4MC with an explicit worker-pool bound
-// (0 = all CPUs); the envelope is bit-identical at any worker count.
-func RunFig4MCWorkers(mi int, nDies, nCols int, seed uint64, workers int) (*Fig4MC, error) {
+// runFig4MC is the registry implementation behind RunFig4MC.
+func runFig4MC(ctx context.Context, mi, nDies, nCols int, seed uint64, eng campaign.Engine) (*Fig4MC, error) {
 	cfgs := monitor.TableI()
 	if mi < 0 || mi >= len(cfgs) {
 		return nil, fmt.Errorf("testbench: monitor index %d out of range", mi)
@@ -39,7 +46,10 @@ func RunFig4MCWorkers(mi int, nDies, nCols int, seed uint64, workers int) (*Fig4
 		return nil, fmt.Errorf("testbench: need at least 1 die and 2 columns, got %d/%d", nDies, nCols)
 	}
 	bank := monitor.NewAnalyticTableI()
-	xs, ys := bank.MCEnvelopeWorkers(mi, mos.Default65nmVariation(), rng.New(seed), nDies, nCols, workers)
+	xs, ys, err := bank.MCEnvelopeCtx(ctx, mi, mos.Default65nmVariation(), rng.New(seed), nDies, nCols, eng)
+	if err != nil {
+		return nil, err
+	}
 	nominal := monitor.MustAnalytic(cfgs[mi])
 	out := &Fig4MC{MonitorName: cfgs[mi].Name}
 	for i, x := range xs {

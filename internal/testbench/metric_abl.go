@@ -1,6 +1,7 @@
 package testbench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -20,14 +21,26 @@ type AblMetric struct {
 	EditDist []float64 // normalized edit distance per deviation
 }
 
-// RunAblMetric sweeps both metrics over the f0 deviation grid.
+// RunAblMetric sweeps both metrics over the f0 deviation grid. It is a
+// thin wrapper over the campaign registry ("metric").
 func RunAblMetric(sys *core.System, devs []float64) (*AblMetric, error) {
+	return runAs[AblMetric](context.Background(), Spec{
+		Campaign: "metric",
+		Params:   MetricParams{Devs: devs},
+	}, WithSystem(sys))
+}
+
+// runAblMetric is the registry implementation behind RunAblMetric.
+func runAblMetric(ctx context.Context, sys *core.System, devs []float64) (*AblMetric, error) {
 	g, err := sys.GoldenSignature()
 	if err != nil {
 		return nil, err
 	}
 	out := &AblMetric{Devs: devs}
 	for _, d := range devs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cut, err := sys.Shifted(d)
 		if err != nil {
 			return nil, err

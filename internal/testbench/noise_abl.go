@@ -1,6 +1,7 @@
 package testbench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -32,11 +33,20 @@ type Noise struct {
 // variance-reduction step that makes the paper's 1% claim reachable.
 // The Monte-Carlo trials fan out across the campaign pool; per-trial
 // streams are derived serially from the seed, so the detection rates are
-// bit-identical at any worker count.
+// bit-identical at any worker count. It is a thin wrapper over the
+// campaign registry ("noise").
 func RunNoiseDetection(sys *core.System, sigma float64, devs []float64, nullTrials, trials int, seed uint64) (*Noise, error) {
+	return runAs[Noise](context.Background(), Spec{
+		Campaign: "noise",
+		Seed:     seed,
+		Params:   NoiseParams{Sigma: sigma, Devs: devs, NullTrials: nullTrials, Trials: trials},
+	}, WithSystem(sys))
+}
+
+// runNoiseDetection is the registry implementation behind RunNoiseDetection.
+func runNoiseDetection(ctx context.Context, sys *core.System, sigma float64, devs []float64, nullTrials, trials int, seed uint64, eng campaign.Engine) (*Noise, error) {
 	const periods = 5
 	src := rng.New(seed)
-	eng := campaign.Engine{}
 	// measure runs one batch of averaged-NDF trials at a deviation, using
 	// streams pre-derived (serially) with the given base offset.
 	measure := func(shift float64, n int, base uint64) ([]float64, error) {
@@ -48,7 +58,7 @@ func RunNoiseDetection(sys *core.System, sigma float64, devs []float64, nullTria
 		for i := range streams {
 			streams[i] = src.Split(base + uint64(i))
 		}
-		return campaign.RunScratch(eng, n, core.NewTrialScratch,
+		return campaign.RunScratch(ctx, eng, n, core.NewTrialScratch,
 			func(i int, sc *core.TrialScratch) (float64, error) {
 				// The outer pool owns the parallelism: periods run serially
 				// on this worker's scratch.
@@ -114,8 +124,17 @@ type AblLinear struct {
 	LinearUm2    float64
 }
 
-// RunAblLinear sweeps both banks over the deviation grid.
+// RunAblLinear sweeps both banks over the deviation grid. It is a thin
+// wrapper over the campaign registry ("linear").
 func RunAblLinear(sys *core.System, devs []float64) (*AblLinear, error) {
+	return runAs[AblLinear](context.Background(), Spec{
+		Campaign: "linear",
+		Params:   LinearParams{Devs: devs},
+	}, WithSystem(sys))
+}
+
+// runAblLinear is the registry implementation behind RunAblLinear.
+func runAblLinear(ctx context.Context, sys *core.System, devs []float64, eng campaign.Engine) (*AblLinear, error) {
 	lin, err := baseline.NewLinearTableI()
 	if err != nil {
 		return nil, err
@@ -124,11 +143,11 @@ func RunAblLinear(sys *core.System, devs []float64) (*AblLinear, error) {
 	if err != nil {
 		return nil, err
 	}
-	nl, err := sys.SweepF0(devs)
+	nl, err := sys.SweepF0Ctx(ctx, devs, eng)
 	if err != nil {
 		return nil, err
 	}
-	ll, err := linSys.SweepF0(devs)
+	ll, err := linSys.SweepF0Ctx(ctx, devs, eng)
 	if err != nil {
 		return nil, err
 	}
@@ -164,8 +183,17 @@ type AblCounter struct {
 	ExactNDF float64
 }
 
-// RunAblCounter runs the ablation at one deviation.
+// RunAblCounter runs the ablation at one deviation. It is a thin wrapper
+// over the campaign registry ("counter").
 func RunAblCounter(sys *core.System, shift float64, bits []int, clocks []float64) (*AblCounter, error) {
+	return runAs[AblCounter](context.Background(), Spec{
+		Campaign: "counter",
+		Params:   CounterParams{Shift: shift, Bits: bits, Clocks: clocks},
+	}, WithSystem(sys))
+}
+
+// runAblCounter is the registry implementation behind RunAblCounter.
+func runAblCounter(ctx context.Context, sys *core.System, shift float64, bits []int, clocks []float64) (*AblCounter, error) {
 	g, err := sys.GoldenSignature()
 	if err != nil {
 		return nil, err
@@ -190,6 +218,9 @@ func RunAblCounter(sys *core.System, shift float64, bits []int, clocks []float64
 	for _, m := range bits {
 		row := make([]float64, len(clocks))
 		for j, f := range clocks {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			cfg := signature.CaptureConfig{ClockHz: f, CounterBits: m}
 			sig, err := signature.Capture(cls, sys.Period(), cfg)
 			if err != nil {
@@ -235,11 +266,23 @@ type AblRegression struct {
 	TestRMSE  float64
 }
 
-// RunAblRegression trains on trainDevs and evaluates on testDevs.
+// RunAblRegression trains on trainDevs and evaluates on testDevs. It is
+// a thin wrapper over the campaign registry ("regress").
 func RunAblRegression(sys *core.System, trainDevs, testDevs []float64) (*AblRegression, error) {
+	return runAs[AblRegression](context.Background(), Spec{
+		Campaign: "regress",
+		Params:   RegressParams{TrainDevs: trainDevs, TestDevs: testDevs},
+	}, WithSystem(sys))
+}
+
+// runAblRegression is the registry implementation behind RunAblRegression.
+func runAblRegression(ctx context.Context, sys *core.System, trainDevs, testDevs []float64) (*AblRegression, error) {
 	mkSigs := func(devs []float64) ([]*signature.Signature, error) {
 		out := make([]*signature.Signature, len(devs))
 		for i, d := range devs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			cut, err := sys.Shifted(d)
 			if err != nil {
 				return nil, err

@@ -1,6 +1,7 @@
 package testbench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -21,19 +22,23 @@ type NoiseSweep struct {
 }
 
 // RunNoiseSweep probes the deviation grid (ascending, positive) at every
-// noise sigma, fanning the Monte-Carlo trials out across all CPUs.
+// noise sigma, fanning the Monte-Carlo trials out across all CPUs. It is
+// a thin wrapper over the campaign registry ("noisesweep"); trial streams
+// are derived serially from the seed before each fan-out, so the sweep is
+// bit-identical at any worker count.
 func RunNoiseSweep(sys *core.System, sigmas, devGrid []float64, trials int, seed uint64) (*NoiseSweep, error) {
-	return RunNoiseSweepWorkers(sys, sigmas, devGrid, trials, seed, 0)
+	return runAs[NoiseSweep](context.Background(), Spec{
+		Campaign: "noisesweep",
+		Seed:     seed,
+		Params:   NoiseSweepParams{Sigmas: sigmas, DevGrid: devGrid, Trials: trials},
+	}, WithSystem(sys))
 }
 
-// RunNoiseSweepWorkers is RunNoiseSweep with an explicit worker-pool
-// bound (0 = all CPUs). Trial streams are derived serially from the seed
-// before each fan-out, so the sweep is bit-identical at any worker count.
-func RunNoiseSweepWorkers(sys *core.System, sigmas, devGrid []float64, trials int, seed uint64, workers int) (*NoiseSweep, error) {
+// runNoiseSweep is the registry implementation behind RunNoiseSweep.
+func runNoiseSweep(ctx context.Context, sys *core.System, sigmas, devGrid []float64, trials int, seed uint64, eng campaign.Engine) (*NoiseSweep, error) {
 	const periods = 3
 	out := &NoiseSweep{Sigmas: sigmas, Periods: periods}
 	src := rng.New(seed)
-	eng := campaign.Engine{Workers: workers}
 	for si, sigma := range sigmas {
 		sigma := sigma
 		// measure runs the averaged-NDF trials at one deviation; the
@@ -45,7 +50,7 @@ func RunNoiseSweepWorkers(sys *core.System, sigmas, devGrid []float64, trials in
 			if err != nil {
 				return nil, err
 			}
-			return campaign.RunScratch(eng, len(streams), core.NewTrialScratch,
+			return campaign.RunScratch(ctx, eng, len(streams), core.NewTrialScratch,
 				func(i int, sc *core.TrialScratch) (float64, error) {
 					// The outer pool owns the parallelism: periods run
 					// serially on this worker's scratch.

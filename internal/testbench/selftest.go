@@ -1,6 +1,7 @@
 package testbench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -22,8 +23,17 @@ type SelfTest struct {
 	Threshold float64
 }
 
-// RunSelfTest evaluates all stuck-at faults against the decision.
+// RunSelfTest evaluates all stuck-at faults against the decision. It is
+// a thin wrapper over the campaign registry ("selftest").
 func RunSelfTest(sys *core.System, dec ndf.Decision) (*SelfTest, error) {
+	return runAs[SelfTest](context.Background(), Spec{
+		Campaign: "selftest",
+		Params:   SelfTestParams{Threshold: &dec.Threshold},
+	}, WithSystem(sys))
+}
+
+// runSelfTest is the registry implementation behind RunSelfTest.
+func runSelfTest(ctx context.Context, sys *core.System, dec ndf.Decision) (*SelfTest, error) {
 	golden, err := sys.GoldenSignature()
 	if err != nil {
 		return nil, err
@@ -32,6 +42,9 @@ func RunSelfTest(sys *core.System, dec ndf.Decision) (*SelfTest, error) {
 	for mi := 0; mi < sys.Bank.Size(); mi++ {
 		var pair [2]float64
 		for v := 0; v <= 1; v++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			bank, err := sys.Bank.WithStuckMonitor(mi, v)
 			if err != nil {
 				return nil, err

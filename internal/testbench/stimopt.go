@@ -1,6 +1,7 @@
 package testbench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -24,8 +25,17 @@ type StimOpt struct {
 }
 
 // RunStimOpt greedily searches the phases of the 2nd and 3rd harmonics
-// over a gridN×gridN grid in [0, 2π).
+// over a gridN×gridN grid in [0, 2π). It is a thin wrapper over the
+// campaign registry ("stimopt").
 func RunStimOpt(sys *core.System, shift float64, gridN int) (*StimOpt, error) {
+	return runAs[StimOpt](context.Background(), Spec{
+		Campaign: "stimopt",
+		Params:   StimOptParams{Shift: shift, Grid: gridN},
+	}, WithSystem(sys))
+}
+
+// runStimOpt is the registry implementation behind RunStimOpt.
+func runStimOpt(ctx context.Context, sys *core.System, shift float64, gridN int) (*StimOpt, error) {
 	if gridN < 2 {
 		gridN = 4
 	}
@@ -68,6 +78,9 @@ func RunStimOpt(sys *core.System, shift float64, gridN int) (*StimOpt, error) {
 	for i := 0; i < gridN; i++ {
 		p2 := 2 * math.Pi * float64(i) / float64(gridN)
 		for j := 0; j < gridN; j++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			p3 := 2 * math.Pi * float64(j) / float64(gridN)
 			trial := append([]float64(nil), basePhases...)
 			trial[1], trial[2] = p2, p3

@@ -1,6 +1,7 @@
 package testbench
 
 import (
+	"context"
 	"fmt"
 	"math/cmplx"
 	"strings"
@@ -28,14 +29,26 @@ type TempDrift struct {
 }
 
 // RunTempDrift evaluates a golden CUT against the 300 K golden signature
-// with the monitor bank operated at each temperature.
+// with the monitor bank operated at each temperature. It is a thin
+// wrapper over the campaign registry ("temp").
 func RunTempDrift(sys *core.System, tempsK []float64) (*TempDrift, error) {
+	return runAs[TempDrift](context.Background(), Spec{
+		Campaign: "temp",
+		Params:   TempParams{TempsK: tempsK},
+	}, WithSystem(sys))
+}
+
+// runTempDrift is the registry implementation behind RunTempDrift.
+func runTempDrift(ctx context.Context, sys *core.System, tempsK []float64) (*TempDrift, error) {
 	golden, err := sys.GoldenSignature()
 	if err != nil {
 		return nil, err
 	}
 	out := &TempDrift{TempsK: tempsK}
 	for _, tk := range tempsK {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bank, err := bankAtTemperature(tk)
 		if err != nil {
 			return nil, err
@@ -103,15 +116,27 @@ type AblSpectral struct {
 	SpectralRMSE float64
 }
 
-// RunAblSpectral runs both regressions.
+// RunAblSpectral runs both regressions. It is a thin wrapper over the
+// campaign registry ("spectral").
 func RunAblSpectral(sys *core.System, trainDevs, testDevs []float64) (*AblSpectral, error) {
-	dw, err := RunAblRegression(sys, trainDevs, testDevs)
+	return runAs[AblSpectral](context.Background(), Spec{
+		Campaign: "spectral",
+		Params:   SpectralParams{TrainDevs: trainDevs, TestDevs: testDevs},
+	}, WithSystem(sys))
+}
+
+// runAblSpectral is the registry implementation behind RunAblSpectral.
+func runAblSpectral(ctx context.Context, sys *core.System, trainDevs, testDevs []float64) (*AblSpectral, error) {
+	dw, err := runAblRegression(ctx, sys, trainDevs, testDevs)
 	if err != nil {
 		return nil, err
 	}
 	// Spectral features: amplitudes of the three stimulus tones in the
 	// CUT output, sampled over one period.
 	feat := func(dev float64) ([]float64, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		f, err := biquad.New(sys.Golden().WithF0Shift(dev))
 		if err != nil {
 			return nil, err

@@ -6,9 +6,11 @@
 package testbench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/lissajous"
 	"repro/internal/monitor"
@@ -22,8 +24,17 @@ type Fig1 struct {
 	Defective []lissajous.Point
 }
 
-// RunFig1 samples both curves with n points per period.
+// RunFig1 samples both curves with n points per period. It is a thin
+// wrapper over the campaign registry ("fig1").
 func RunFig1(sys *core.System, shift float64, n int) (*Fig1, error) {
+	return runAs[Fig1](context.Background(), Spec{
+		Campaign: "fig1",
+		Params:   Fig1Params{Shift: shift, Points: n},
+	}, WithSystem(sys))
+}
+
+// runFig1 is the registry implementation behind RunFig1.
+func runFig1(sys *core.System, shift float64, n int) (*Fig1, error) {
 	g, err := sys.Lissajous(sys.CUT)
 	if err != nil {
 		return nil, err
@@ -63,7 +74,8 @@ type Table1 struct {
 	Configs []monitor.Config
 }
 
-// RunTable1 returns the published configuration table.
+// RunTable1 returns the published configuration table (registry campaign
+// "table1").
 func RunTable1() *Table1 { return &Table1{Configs: monitor.TableI()} }
 
 // Render formats the table like the paper.
@@ -98,10 +110,22 @@ type Fig4 struct {
 	Envelopes [][][3]float64
 }
 
-// RunFig4 traces every Table I boundary at the given resolution.
+// RunFig4 traces every Table I boundary at the given resolution. It is a
+// thin wrapper over the campaign registry ("fig4").
 func RunFig4(n int) (*Fig4, error) {
+	return runAs[Fig4](context.Background(), Spec{
+		Campaign: "fig4",
+		Params:   Fig4Params{Points: n},
+	})
+}
+
+// runFig4 is the registry implementation behind RunFig4.
+func runFig4(ctx context.Context, n int) (*Fig4, error) {
 	out := &Fig4{}
 	for _, cfg := range monitor.TableI() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		a, err := monitor.NewAnalytic(cfg)
 		if err != nil {
 			return nil, err
@@ -128,8 +152,17 @@ func (f *Fig4) CSV() string {
 // RunFig4Spice traces every Table I boundary from the transistor-level
 // Fig. 2 netlist (binary search on the digitized output of MNA DC
 // solves) — the software counterpart of the paper's bench measurement.
-// Columns without a bit transition are skipped.
+// Columns without a bit transition are skipped. It is a thin wrapper over
+// the campaign registry ("fig4spice").
 func RunFig4Spice(nCols int) (*Fig4, error) {
+	return runAs[Fig4](context.Background(), Spec{
+		Campaign: "fig4spice",
+		Params:   Fig4SpiceParams{Cols: nCols},
+	})
+}
+
+// runFig4Spice is the registry implementation behind RunFig4Spice.
+func runFig4Spice(ctx context.Context, nCols int) (*Fig4, error) {
 	out := &Fig4{}
 	for _, cfg := range monitor.TableI() {
 		sm, err := monitor.NewSpice(cfg, nil)
@@ -138,6 +171,9 @@ func RunFig4Spice(nCols int) (*Fig4, error) {
 		}
 		var pts []monitor.Point
 		for i := 0; i < nCols; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			v := float64(i) / float64(nCols-1)
 			if y, ok := sm.BoundaryY(v, 0, 1); ok {
 				pts = append(pts, monitor.Point{X: v, Y: y})
@@ -163,8 +199,17 @@ type Fig8 struct {
 
 // RunFig8 sweeps deviations over ±maxDev with the given number of points
 // (odd counts include 0) and calibrates the PASS/FAIL threshold at the
-// tolerance edges.
+// tolerance edges. It is a thin wrapper over the campaign registry
+// ("fig8").
 func RunFig8(sys *core.System, maxDev float64, points int, tol float64) (*Fig8, error) {
+	return runAs[Fig8](context.Background(), Spec{
+		Campaign: "fig8",
+		Params:   Fig8Params{MaxDev: maxDev, Points: points, Tol: tol},
+	}, WithSystem(sys))
+}
+
+// runFig8 is the registry implementation behind RunFig8.
+func runFig8(ctx context.Context, sys *core.System, maxDev float64, points int, tol float64, eng campaign.Engine) (*Fig8, error) {
 	if points < 3 {
 		points = 3
 	}
@@ -172,7 +217,7 @@ func RunFig8(sys *core.System, maxDev float64, points int, tol float64) (*Fig8, 
 	for i := range devs {
 		devs[i] = -maxDev + 2*maxDev*float64(i)/float64(points-1)
 	}
-	ndfs, err := sys.SweepF0(devs)
+	ndfs, err := sys.SweepF0Ctx(ctx, devs, eng)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package testbench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -38,10 +39,19 @@ type Yield struct {
 // multi-parameter in-spec drift and shows up as overkill; corner
 // calibration is how a production deployment sets the band.
 func CalibrateMultiParam(sys *core.System, tol float64) (ndf.Decision, error) {
+	return calibrateMultiParam(context.Background(), sys, tol)
+}
+
+// calibrateMultiParam is CalibrateMultiParam with corner-granular
+// cancellation for registry runs.
+func calibrateMultiParam(ctx context.Context, sys *core.System, tol float64) (ndf.Decision, error) {
 	worst := 0.0
 	for _, sf := range []float64{-1, 1} {
 		for _, sq := range []float64{-1, 1} {
 			for _, sg := range []float64{-1, 1} {
+				if err := ctx.Err(); err != nil {
+					return ndf.Decision{}, err
+				}
 				v, err := sys.NDFOfDeviation(core.Deviation{
 					F0Shift:   sf * tol,
 					QShift:    sq * 2 * tol,
@@ -60,11 +70,20 @@ func CalibrateMultiParam(sys *core.System, tol float64) (ndf.Decision, error) {
 }
 
 // RunYield draws n CUTs with component sigma, tests each against the
-// decision, and scores against the spec. The CUTs are independent dies
-// and fan out across the campaign pool; per-die streams are derived
-// serially from the seed, so the scores are bit-identical at any worker
-// count.
+// decision, and scores against the spec. It is a thin wrapper over the
+// campaign registry ("yield"); the CUTs are independent dies and fan out
+// across the campaign pool; per-die streams are derived serially from the
+// seed, so the scores are bit-identical at any worker count.
 func RunYield(sys *core.System, dec ndf.Decision, n int, componentSigma, tol float64, seed uint64) (*Yield, error) {
+	return runAs[Yield](context.Background(), Spec{
+		Campaign: "yield",
+		Seed:     seed,
+		Params:   YieldParams{N: n, ComponentSigma: componentSigma, Tol: tol, Threshold: &dec.Threshold},
+	}, WithSystem(sys))
+}
+
+// runYield is the registry implementation behind RunYield.
+func runYield(ctx context.Context, sys *core.System, dec ndf.Decision, n int, componentSigma, tol float64, seed uint64, eng campaign.Engine) (*Yield, error) {
 	if _, err := sys.GoldenSignature(); err != nil {
 		return nil, err
 	}
@@ -75,7 +94,7 @@ func RunYield(sys *core.System, dec ndf.Decision, n int, componentSigma, tol flo
 		streams[i] = src.Split(uint64(i))
 	}
 	type verdict struct{ truthGood, pass bool }
-	verdicts, err := campaign.RunScratch(campaign.Engine{}, n,
+	verdicts, err := campaign.RunScratch(ctx, eng, n,
 		core.NewTrialScratch,
 		func(i int, sc *core.TrialScratch) (verdict, error) {
 			s := streams[i]
