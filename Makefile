@@ -9,7 +9,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: ci fmt vet build test race bench bench-json bench-smoke serve-smoke
+.PHONY: ci fmt vet build test race bench bench-json bench-smoke bench-diff fuzz-smoke serve-smoke
 
 ci: fmt vet build race bench-smoke serve-smoke
 
@@ -39,18 +39,39 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 # Perf trajectory snapshot: the full benchmark suite in `go test -json`
-# event form (benchstat reads it directly: `benchstat BENCH_4.json`).
+# event form (benchstat reads it directly: `benchstat BENCH_5.json`, and
+# cmd/benchdiff compares two snapshots without external tools).
 # Bump the file name per PR so the trajectory accumulates.
 bench-json:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ -json . > BENCH_4.json
+	$(GO) test -bench=. -benchtime=1x -run=^$$ -json . > BENCH_5.json
+
+# Benchstat-style regression report between the two most recent
+# snapshots, implemented in-repo (cmd/benchdiff, stdlib only) so CI needs
+# no extra tooling. Fails on a >30% ns/op regression in the pinned
+# hot-path benchmarks (SPICE linear transient, batched signature engine,
+# streaming reduction); everything else is report-only. The CI workflow
+# runs it as a non-blocking report step — single-iteration snapshots are
+# noisy, so only humans act on it.
+bench-diff:
+	$(GO) run ./cmd/benchdiff -old BENCH_4.json -new BENCH_5.json
 
 # Smoke gate: single-iteration run of the SPICE transient, the
-# SPICE-campaign, the batched-signature-engine and the registry-dispatch
-# benchmarks (fast path, Newton baseline, CUT output, fault table,
-# batched vs scalar capture, spec dispatch) — proves the hot paths still
-# execute end to end.
+# SPICE-campaign, the batched-signature-engine, the streaming-reduction
+# and the registry-dispatch benchmarks (fast path, Newton baseline, CUT
+# output, fault table, batched vs scalar capture, Reduce vs Run, spec
+# dispatch) — proves the hot paths still execute end to end.
 bench-smoke:
-	$(GO) test -bench='TransientTowThomas|SpiceCUT|FaultTableSpice|SignatureCapture|AveragedNDF|BankClassify|RegistryDispatch' -benchtime=1x -run=^$$ .
+	$(GO) test -bench='TransientTowThomas|SpiceCUT|FaultTableSpice|SignatureCapture|AveragedNDF|BankClassify|RegistryDispatch|CampaignReduce1M|CampaignRun1M' -benchtime=1x -run=^$$ .
+
+# Short-budget fuzz pass over the SPICE netlist parser and the signature
+# binary decoder (seed corpora are checked in under testdata/fuzz). Each
+# target gets 10s — enough to exercise the mutator on every seed class
+# without blowing the CI budget. `go test -fuzz` accepts one target per
+# invocation, hence the three runs.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz='^FuzzParseValue$$' -fuzztime=10s ./internal/spice
+	$(GO) test -run=^$$ -fuzz='^FuzzParse$$' -fuzztime=10s ./internal/spice
+	$(GO) test -run=^$$ -fuzz='^FuzzUnmarshalBinary$$' -fuzztime=10s ./internal/signature
 
 # HTTP service smoke: boot mcserved on an ephemeral port and run one
 # small campaign through its own API (list, submit, poll, result).

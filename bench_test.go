@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/biquad"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/monitor"
 	"repro/internal/ndf"
@@ -641,4 +642,67 @@ func BenchmarkRegistryDispatchJSON(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ENGINE-REDUCE / ENGINE-RUN: the campaign engine's per-trial overhead
+// on a million trivial trials — the streaming reduction against the
+// materializing worker pool. Reduce's win (no result slots, chunked
+// progress ticks) is pinned >= 1.5x by TestReducePinnedThroughput; the
+// allocation column is the O(trials)-vs-O(workers) memory story.
+func BenchmarkCampaignReduce1M(b *testing.B) {
+	ctx := context.Background()
+	red := campaign.Reducer[float64, float64]{
+		Fold:  func(a float64, _ int, v float64) float64 { return a + v },
+		Merge: func(a, c float64) float64 { return a + c },
+	}
+	b.ReportAllocs()
+	var sum float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		sum, err = campaign.Reduce(ctx, campaign.Engine{Workers: 1}, 1_000_000, red,
+			func(i int) (float64, error) { return float64(i & 1), nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(sum, "sum")
+}
+
+func BenchmarkCampaignRun1M(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	var out []float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = campaign.Run(ctx, campaign.Engine{Workers: 1}, 1_000_000,
+			func(i int) (float64, error) { return float64(i & 1), nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(out)), "slots")
+}
+
+// EXT-YIELD-STREAM: the streamed production-yield campaign at 10k dies
+// on a reduced scan resolution — the registry + reduction path of a
+// million-die run, sized for the benchmark budget. Allocations stay
+// O(workers + chunk) however many dies the spec names.
+func BenchmarkYieldStreaming10k(b *testing.B) {
+	sys := core.Default()
+	sys.ScanN = 64
+	thr := 0.03
+	ctx := context.Background()
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		res, err := testbench.Run(ctx, testbench.Spec{
+			Campaign: "yield",
+			Seed:     1,
+			Params:   testbench.YieldParams{N: 10_000, ComponentSigma: 0.02, Tol: 0.05, Threshold: &thr},
+		}, testbench.WithSystem(sys))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = res.Payload.(*testbench.Yield).YieldRate()
+	}
+	b.ReportMetric(rate, "yield_rate")
 }

@@ -41,7 +41,6 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/mos"
 	"repro/internal/prof"
-	"repro/internal/rng"
 	"repro/internal/stat"
 	"repro/internal/testbench"
 )
@@ -112,7 +111,7 @@ func main() {
 
 // runList prints the registry catalogue.
 func runList() error {
-	fmt.Println("registered campaigns (spec fields: campaign, backend, seed, workers, scalar, params):")
+	fmt.Println("registered campaigns (spec fields: campaign, backend, seed, workers, chunk, scalar, params):")
 	for _, info := range testbench.List() {
 		fmt.Printf("\n  %-11s %s\n", info.Name, info.Summary)
 		for _, p := range info.Params {
@@ -192,19 +191,26 @@ func runMonitorStudy(ctx context.Context, monIdx, dies int, x float64, seed uint
 	}
 	fmt.Print(env.Text)
 
-	// Spread histogram at one column — the same per-die trial, fanned out
-	// on the campaign engine.
+	// Spread histogram at one column — the same per-die trial, streamed
+	// through the campaign reduction engine: every die derives its stream
+	// inside the worker (no O(dies) pre-pass) and only the crossings are
+	// kept, merged in die order.
 	cfg := monitor.TableI()[monIdx-1]
 	a := monitor.MustAnalytic(cfg)
 	variation := mos.Default65nmVariation()
-	src := rng.New(seed + 1)
-	streams := make([]*rng.Stream, dies)
-	for d := range streams {
-		streams[d] = src.Split(uint64(d))
-	}
-	boundary, err := campaign.Run(ctx, campaign.Engine{Workers: workers}, dies,
+	eng := campaign.Engine{Workers: workers, Seed: seed + 1}
+	ys, err := campaign.Reduce(ctx, eng, dies,
+		campaign.Reducer[float64, []float64]{
+			Fold: func(acc []float64, _ int, y float64) []float64 {
+				if !math.IsNaN(y) {
+					acc = append(acc, y)
+				}
+				return acc
+			},
+			Merge: func(into, next []float64) []float64 { return append(into, next...) },
+		},
 		func(d int) (float64, error) {
-			die := variation.SampleDie(streams[d])
+			die := variation.SampleDie(eng.Stream(d))
 			devs := a.Devices()
 			for j := range devs {
 				devs[j] = die.Perturb(devs[j])
@@ -216,12 +222,6 @@ func runMonitorStudy(ctx context.Context, monIdx, dies int, x float64, seed uint
 		})
 	if err != nil {
 		return err
-	}
-	var ys []float64
-	for _, y := range boundary {
-		if !math.IsNaN(y) {
-			ys = append(ys, y)
-		}
 	}
 	if len(ys) == 0 {
 		fmt.Printf("\nno boundary crossing at x = %.3f\n", x)

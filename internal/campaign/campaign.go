@@ -16,11 +16,18 @@
 //   - the first error is reported by trial index, not by wall-clock
 //     arrival.
 //
-// Runs are cancellable: both entry points take a context.Context and stop
-// dispatching new trials as soon as it is done, returning ctx.Err() after
-// the in-flight trials finish — so a cancelled campaign aborts within one
-// trial's latency and leaks no goroutines. Progress is observable through
-// Engine.Progress without affecting results.
+// Runs are cancellable: every entry point takes a context.Context and
+// stops dispatching new trials as soon as it is done, returning ctx.Err()
+// after the in-flight trials finish — so a cancelled campaign aborts
+// within one trial's latency and leaks no goroutines. Progress is
+// observable through Engine.Progress without affecting results.
+//
+// Two execution modes share the engine. Run materializes every trial
+// result in an indexed slot — O(trials) memory, for campaigns that need
+// per-trial output. Reduce streams: workers fold trial results into
+// per-chunk accumulators that are merged in chunk-index order, so memory
+// stays O(workers + chunk) at any trial count while the merged output is
+// still bit-identical at any worker count (see reduce.go).
 package campaign
 
 import (
@@ -44,10 +51,19 @@ type Engine struct {
 	// order) never consult it.
 	Seed uint64
 	// Progress, when non-nil, is invoked after every completed trial with
-	// the number of trials finished so far and the total trial count. It
-	// may be called concurrently from several workers and must not block;
+	// the number of trials finished so far and the total trial count
+	// (Reduce ticks it once per completed chunk instead, with the
+	// cumulative trial count). It may be called concurrently from several
+	// workers and must not block; the reported count never decreases and
 	// it observes the run but never affects its results.
 	Progress func(done, total int)
+	// Chunk is the number of trials one reduction chunk covers (Reduce
+	// only); <= 0 selects DefaultChunk. The chunk size is part of the
+	// result contract of a non-associative reduction: at a fixed chunk
+	// size the merged accumulator is bit-identical at any worker count,
+	// while different chunk sizes may group floating-point folds
+	// differently. Run ignores it.
+	Chunk int
 }
 
 // Stream returns trial i's private random substream — a pure function of

@@ -1,0 +1,259 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultChunk is the trial count one reduction chunk covers when
+// Engine.Chunk is unset. Large enough that per-chunk overhead (one
+// accumulator allocation, one progress tick, one channel round trip) is
+// negligible against real trial work; small enough that progress stays
+// lively and a cancelled run aborts quickly.
+const DefaultChunk = 4096
+
+// Reducer describes a streaming reduction over trial results: how to
+// start a chunk accumulator, how to fold one trial into it, and how to
+// merge two chunk accumulators.
+//
+// Determinism contract: trials are folded in ascending index order
+// within each chunk, and chunks are merged in ascending chunk order, so
+// for a fixed chunk size (Engine.Chunk) the final accumulator is
+// bit-identical at any worker count — even when Fold/Merge are not
+// associative in the exact sense (floating-point sums, ordered appends).
+type Reducer[T, A any] struct {
+	// New returns a fresh chunk accumulator; nil means the zero A.
+	New func() A
+	// Fold absorbs trial i's result v into the chunk accumulator and
+	// returns the updated accumulator. Required.
+	Fold func(acc A, i int, v T) A
+	// Merge combines the running global accumulator with the next chunk's
+	// accumulator (ascending chunk order) and returns the result.
+	// Required when a run spans more than one chunk.
+	Merge func(into, next A) A
+}
+
+// Reduce executes n independent trials across the pool and streams their
+// results through the reducer instead of materializing them: each worker
+// folds the trials of one chunk (Engine.Chunk, default DefaultChunk)
+// into a per-chunk accumulator, and completed chunks are merged in chunk
+// index order. Peak memory is O(workers + chunk), independent of n —
+// the mode million-trial campaigns run in.
+//
+// Error and cancellation semantics match Run: the error of the
+// lowest-index failing trial is returned (chunks beyond the first
+// failing one are not started, which cannot hide a lower-index error
+// because chunks are dispatched in ascending order), and a cancelled
+// context aborts within one trial's latency, drains the pool, and
+// returns ctx.Err(). Progress ticks once per completed chunk with the
+// cumulative trial count, so it is monotone and ends at (n, n).
+func Reduce[T, A any](ctx context.Context, e Engine, n int, r Reducer[T, A], trial func(i int) (T, error)) (A, error) {
+	return ReduceScratch(ctx, e, n, r,
+		func() struct{} { return struct{}{} },
+		func(i int, _ struct{}) (T, error) { return trial(i) })
+}
+
+// ReduceScratch is Reduce with per-worker scratch state, exactly as
+// RunScratch is to Run: newScratch runs once per worker and its value is
+// threaded into every trial that worker folds. Scratch must not affect
+// results.
+func ReduceScratch[T, A, S any](ctx context.Context, e Engine, n int, r Reducer[T, A], newScratch func() S, trial func(i int, scratch S) (T, error)) (A, error) {
+	var zero A
+	newAcc := r.New
+	if newAcc == nil {
+		newAcc = func() A { var a A; return a }
+	}
+	if r.Fold == nil {
+		return zero, errors.New("campaign: Reduce needs a Fold function")
+	}
+	if n <= 0 {
+		return newAcc(), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	chunk := e.Chunk
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	nChunks := (n + chunk - 1) / chunk
+	if nChunks > 1 && r.Merge == nil {
+		return zero, errors.New("campaign: Reduce spanning multiple chunks needs a Merge function")
+	}
+	// Progress is chunk-granular and strictly monotone: ticks are
+	// serialized under a mutex and delivered only when they advance the
+	// high-water mark, so an observer never sees the count decrease even
+	// when workers retire chunks out of order. One lock per chunk is
+	// noise next to a chunk's worth of trial work.
+	var done atomic.Int64
+	var progressMu sync.Mutex
+	reported := 0
+	tick := func(trials int) {
+		if trials == 0 {
+			return
+		}
+		d := int(done.Add(int64(trials)))
+		if e.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		if d > reported {
+			reported = d
+			e.Progress(d, n)
+		}
+	}
+	// runChunk folds chunk c's trials in ascending index order into a
+	// fresh accumulator. On a trial error (or mid-chunk cancellation) it
+	// stops at that trial; the index of the failing trial is implicit in
+	// the error being the first of the chunk.
+	runChunk := func(c int, scratch S) (A, int, error) {
+		lo := c * chunk
+		hi := min(lo+chunk, n)
+		acc := newAcc()
+		for i := lo; i < hi; i++ {
+			if err := ctx.Err(); err != nil {
+				tick(i - lo)
+				return acc, i - lo, err
+			}
+			v, err := trial(i, scratch)
+			if err != nil {
+				tick(i - lo)
+				return acc, i - lo, err
+			}
+			acc = r.Fold(acc, i, v)
+		}
+		tick(hi - lo)
+		return acc, hi - lo, nil
+	}
+
+	workers := e.poolSize(nChunks)
+	if workers == 1 {
+		scratch := newScratch()
+		var global A
+		for c := 0; c < nChunks; c++ {
+			acc, _, err := runChunk(c, scratch)
+			if err != nil {
+				return zero, err
+			}
+			if c == 0 {
+				global = acc
+			} else {
+				global = r.Merge(global, acc)
+			}
+		}
+		return global, nil
+	}
+
+	// Parallel path. Chunks flow feeder -> workers -> merger; the merger
+	// folds them into the global accumulator in ascending chunk order. A
+	// token window bounds dispatched-but-unmerged chunks to 2*workers, so
+	// a slow chunk 0 cannot let faster workers pile up O(nChunks)
+	// accumulators — this is what keeps memory O(workers), not O(trials).
+	type chunkOut struct {
+		c   int
+		acc A
+		err error
+	}
+	window := 2 * workers
+	next := make(chan int)
+	results := make(chan chunkOut, window) // never blocks a worker: outstanding <= window
+	tokens := make(chan struct{}, window)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := newScratch()
+			for c := range next {
+				// A cancelled context stops the work, not the drain: skip
+				// the chunk but keep consuming until the channel closes,
+				// and still report it so the merger's accounting closes.
+				if err := ctx.Err(); err != nil {
+					results <- chunkOut{c: c, err: err}
+					continue
+				}
+				acc, _, err := runChunk(c, scratch)
+				if err != nil {
+					// Real trial errors stop the feeder early; ctx errors
+					// are already handled by its Done branch.
+					failed.Store(true)
+				}
+				results <- chunkOut{c: c, acc: acc, err: err}
+			}
+		}()
+	}
+
+	var (
+		global     A
+		firstErr   error
+		mergerDone = make(chan struct{})
+	)
+	go func() {
+		defer close(mergerDone)
+		pending := make(map[int]chunkOut, window)
+		nextMerge := 0
+		for out := range results {
+			pending[out.c] = out
+			for {
+				o, ok := pending[nextMerge]
+				if !ok {
+					break
+				}
+				delete(pending, nextMerge)
+				<-tokens // chunk retired: let the feeder dispatch another
+				if firstErr == nil {
+					if o.err != nil {
+						// Ascending-order scan: the first error seen here is
+						// the lowest-index failing trial's.
+						firstErr = o.err
+					} else if nextMerge == 0 {
+						global = o.acc
+					} else {
+						global = r.Merge(global, o.acc)
+					}
+				}
+				nextMerge++
+			}
+		}
+	}()
+
+	cancelled := false
+feed:
+	for c := 0; c < nChunks; c++ {
+		if failed.Load() {
+			// Chunks are fed in ascending order, so everything that could
+			// hold a lower-index error is already in flight.
+			break
+		}
+		select {
+		case tokens <- struct{}{}:
+		case <-ctx.Done():
+			cancelled = true
+			break feed
+		}
+		select {
+		case next <- c:
+		case <-ctx.Done():
+			cancelled = true
+			// Unwind the token the undispatched chunk held so the merger's
+			// token accounting stays balanced.
+			<-tokens
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	close(results)
+	<-mergerDone
+	if cancelled || ctx.Err() != nil {
+		return zero, ctx.Err()
+	}
+	if firstErr != nil {
+		return zero, firstErr
+	}
+	return global, nil
+}

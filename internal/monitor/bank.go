@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/mos"
-	"repro/internal/rng"
 )
 
 // Code is an n-bit zone code. Monitor i (0-based) contributes bit i; the
@@ -144,14 +143,18 @@ func (b *Bank) Perturbed(die *mos.Die) *Bank {
 
 // MCEnvelope traces the zone boundary of monitor index mi across nDies
 // Monte Carlo samples and returns, for each x column, the set of boundary
-// y values found (suitable for quantile envelopes). Columns with no
-// boundary crossing in a sample are skipped for that sample.
+// y values found (suitable for quantile envelopes), in die order.
+// Columns with no boundary crossing in a sample are skipped for that
+// sample.
 //
-// Dies are evaluated in parallel on the campaign engine; each die
-// derives its own random stream from its index, so the result is
-// bit-identical regardless of scheduling or worker count.
-func (b *Bank) MCEnvelope(mi int, variation mos.Variation, src *rng.Stream, nDies, nCols int) (xs []float64, ys [][]float64) {
-	xs, ys, err := b.MCEnvelopeCtx(context.Background(), mi, variation, src, nDies, nCols, campaign.Engine{})
+// Dies stream through the campaign reduction engine: each worker folds
+// its chunk of dies into per-column slices that are merged in die order,
+// and every die derives its random stream inside the worker as a pure
+// function of (seed, die index) — no serial stream pre-pass, no O(dies)
+// result slots, and a result that is bit-identical regardless of
+// scheduling or worker count.
+func (b *Bank) MCEnvelope(mi int, variation mos.Variation, seed uint64, nDies, nCols int) (xs []float64, ys [][]float64) {
+	xs, ys, err := b.MCEnvelopeCtx(context.Background(), mi, variation, seed, nDies, nCols, campaign.Engine{})
 	if err != nil {
 		panic(err) // a background context never cancels; trials are error-free
 	}
@@ -159,9 +162,9 @@ func (b *Bank) MCEnvelope(mi int, variation mos.Variation, src *rng.Stream, nDie
 }
 
 // MCEnvelopeCtx is MCEnvelope under an explicit context and campaign
-// engine (worker bound, progress). The only error it can return is the
-// context's, once cancellation stops the die fan-out.
-func (b *Bank) MCEnvelopeCtx(ctx context.Context, mi int, variation mos.Variation, src *rng.Stream, nDies, nCols int, eng campaign.Engine) (xs []float64, ys [][]float64, err error) {
+// engine (worker bound, chunk size, progress). The only error it can
+// return is the context's, once cancellation stops the die fan-out.
+func (b *Bank) MCEnvelopeCtx(ctx context.Context, mi int, variation mos.Variation, seed uint64, nDies, nCols int, eng campaign.Engine) (xs []float64, ys [][]float64, err error) {
 	a, ok := b.monitors[mi].(*Analytic)
 	if !ok {
 		panic("monitor: MCEnvelope requires an analytic monitor")
@@ -170,16 +173,31 @@ func (b *Bank) MCEnvelopeCtx(ctx context.Context, mi int, variation mos.Variatio
 	for i := range xs {
 		xs[i] = float64(i) / float64(nCols-1)
 	}
-	// Split the per-die streams serially (Split advances src), then fan
-	// the independent dies out to the workers.
-	streams := make([]*rng.Stream, nDies)
-	for d := range streams {
-		streams[d] = src.Split(uint64(d))
-	}
-	// Per-die boundary columns (NaN = no crossing), in die order.
-	cols, err := campaign.Run(ctx, eng, nDies,
+	eng.Seed = seed
+	// The accumulator is the envelope itself: per-column boundary values
+	// in die order. Fold appends one die's crossings; Merge concatenates
+	// chunks column-wise — chunk order is die order, so the merged
+	// envelope matches a serial run bit for bit.
+	ys, err = campaign.Reduce(ctx, eng, nDies,
+		campaign.Reducer[[]float64, [][]float64]{
+			New: func() [][]float64 { return make([][]float64, nCols) },
+			Fold: func(acc [][]float64, _ int, col []float64) [][]float64 {
+				for i, y := range col {
+					if !math.IsNaN(y) {
+						acc[i] = append(acc[i], y)
+					}
+				}
+				return acc
+			},
+			Merge: func(into, next [][]float64) [][]float64 {
+				for i := range into {
+					into[i] = append(into[i], next[i]...)
+				}
+				return into
+			},
+		},
 		func(d int) ([]float64, error) {
-			die := variation.SampleDie(streams[d])
+			die := variation.SampleDie(eng.Stream(d))
 			devs := a.Devices()
 			for j := range devs {
 				devs[j] = die.Perturb(devs[j])
@@ -197,14 +215,6 @@ func (b *Bank) MCEnvelopeCtx(ctx context.Context, mi int, variation mos.Variatio
 		})
 	if err != nil {
 		return nil, nil, err
-	}
-	ys = make([][]float64, nCols)
-	for _, col := range cols {
-		for i, y := range col {
-			if !math.IsNaN(y) {
-				ys[i] = append(ys[i], y)
-			}
-		}
 	}
 	return xs, ys, nil
 }

@@ -254,7 +254,7 @@ func TestWithDevicesShiftsBoundary(t *testing.T) {
 
 func TestMCEnvelopeSpread(t *testing.T) {
 	b := NewAnalyticTableI()
-	xs, ys := b.MCEnvelope(2, mos.Default65nmVariation(), rng.New(11), 40, 21)
+	xs, ys := b.MCEnvelope(2, mos.Default65nmVariation(), 11, 40, 21)
 	if len(xs) != 21 {
 		t.Fatalf("cols = %d", len(xs))
 	}
@@ -388,7 +388,7 @@ func TestMCEnvelopeDeterministicAcrossParallelism(t *testing.T) {
 	run := func(procs int) [][]float64 {
 		prev := runtime.GOMAXPROCS(procs)
 		defer runtime.GOMAXPROCS(prev)
-		_, ys := b.MCEnvelope(2, mos.Default65nmVariation(), rng.New(77), 24, 11)
+		_, ys := b.MCEnvelope(2, mos.Default65nmVariation(), 77, 24, 11)
 		return ys
 	}
 	a := run(1)

@@ -157,12 +157,13 @@ func TestSubmitValidation(t *testing.T) {
 func TestCancelEndpoint(t *testing.T) {
 	_, ts := newTestServer(t)
 	resp, st := postSpec(t, ts.URL,
-		`{"campaign":"yield","seed":3,"params":{"n":1000000,"component_sigma":0.02,"tol":0.05,"threshold":0.03}}`)
+		`{"campaign":"yield","seed":3,"chunk":8,"params":{"n":1000000,"component_sigma":0.02,"tol":0.05,"threshold":0.03}}`)
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("POST status %s", resp.Status)
 	}
 	// Let it make some progress first, so the cancel is genuinely
-	// mid-flight.
+	// mid-flight. The small chunk makes the streamed campaign tick early
+	// instead of after its first 4096-trial chunk.
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		var cur JobStatus
@@ -268,5 +269,68 @@ func TestCloseCancelsJobs(t *testing.T) {
 	}
 	if final.State != StateCancelled && final.State != StateDone {
 		t.Fatalf("job state after Close: %q", final.State)
+	}
+}
+
+// A production-scale submission: a 1,000,000-trial yield spec is
+// accepted, streams monotone chunk-granular progress over SSE while the
+// reduction runs, and cancels cleanly through the API — the server never
+// materializes per-trial state, so the spec's size costs nothing.
+func TestMillionTrialSpecStreamsChunkProgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live campaign stream skipped in -short mode")
+	}
+	_, ts := newTestServer(t)
+	resp, st := postSpec(t, ts.URL,
+		`{"campaign":"yield","seed":3,"chunk":16,"params":{"n":1000000,"component_sigma":0.02,"tol":0.05,"threshold":0.03}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("1M-trial spec rejected: %s", resp.Status)
+	}
+	evResp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evResp.Body.Close()
+	scanner := bufio.NewScanner(evResp.Body)
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	frames, lastDone := 0, 0
+	cancelled := false
+	var final JobStatus
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if !bytes.HasPrefix(line, []byte("data: ")) {
+			continue
+		}
+		var js JobStatus
+		if err := json.Unmarshal(bytes.TrimPrefix(line, []byte("data: ")), &js); err != nil {
+			t.Fatal(err)
+		}
+		final = js
+		if js.Progress.Total != 0 && js.Progress.Total != 1000000 {
+			t.Fatalf("progress total = %d, want 1000000", js.Progress.Total)
+		}
+		if js.Progress.Done < lastDone {
+			t.Fatalf("progress went backwards: %d after %d", js.Progress.Done, lastDone)
+		}
+		lastDone = js.Progress.Done
+		frames++
+		// Once progress is visibly flowing, cancel through the API.
+		if !cancelled && js.Progress.Done >= 32 {
+			cancelled = true
+			cResp, err := http.Post(ts.URL+"/v1/jobs/"+st.ID+"/cancel", "application/json", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cResp.Body.Close()
+		}
+	}
+	if !cancelled {
+		t.Fatalf("never saw enough progress to cancel (last frame %+v)", final)
+	}
+	if final.State != StateCancelled {
+		t.Fatalf("final state %q, want cancelled", final.State)
+	}
+	if final.Progress.Done >= 1000000 {
+		t.Fatal("cancelled job claims full completion")
 	}
 }

@@ -298,6 +298,12 @@ func (s *Signature) UnmarshalBinary(data []byte) error {
 	if err := rd(&period); err != nil {
 		return err
 	}
+	// Reject non-finite and non-positive periods: NaN in particular
+	// would silently break the round-trip contract (NaN never compares
+	// equal) and every downstream duration normalization.
+	if !(period > 0) || math.IsInf(period, 0) {
+		return fmt.Errorf("signature: invalid period %v", period)
+	}
 	if err := rd(&n); err != nil {
 		return err
 	}
@@ -313,6 +319,9 @@ func (s *Signature) UnmarshalBinary(data []byte) error {
 		}
 		if err := rd(&dur); err != nil {
 			return err
+		}
+		if math.IsNaN(dur) || math.IsInf(dur, 0) || dur < 0 {
+			return fmt.Errorf("signature: invalid duration %v at entry %d", dur, i)
 		}
 		entries[i] = Entry{Code: monitor.Code(code), Dur: dur}
 	}

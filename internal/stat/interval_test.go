@@ -1,0 +1,129 @@
+package stat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormalQuantile(t *testing.T) {
+	// Reference values (R qnorm / Abramowitz & Stegun).
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.025, -1.959963984540054},
+		{0.995, 2.5758293035489004},
+		{0.9, 1.2815515655446004},
+		{0.0001, -3.719016485455709},
+		{0.9999, 3.719016485455709},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 1e-8 {
+			t.Fatalf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Round trip through the exact CDF.
+	for _, p := range []float64{0.001, 0.01, 0.1, 0.3, 0.7, 0.99, 0.999} {
+		x := NormalQuantile(p)
+		back := 0.5 * math.Erfc(-x/math.Sqrt2)
+		if math.Abs(back-p) > 1e-12 {
+			t.Fatalf("CDF(Quantile(%v)) = %v", p, back)
+		}
+	}
+}
+
+func TestRegularizedIncompleteBeta(t *testing.T) {
+	// I_x(1, b) = 1 - (1-x)^b and I_x(a, 1) = x^a exactly.
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		for _, b := range []float64{1, 2.5, 7} {
+			if got, want := RegularizedIncompleteBeta(x, 1, b), 1-math.Pow(1-x, b); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("I_%v(1,%v) = %v, want %v", x, b, got, want)
+			}
+			if got, want := RegularizedIncompleteBeta(x, b, 1), math.Pow(x, b); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("I_%v(%v,1) = %v, want %v", x, b, got, want)
+			}
+		}
+	}
+	// Symmetry and midpoint of the symmetric Beta.
+	if got := RegularizedIncompleteBeta(0.5, 3, 3); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("I_0.5(3,3) = %v", got)
+	}
+	// BetaQuantile inverts the CDF.
+	for _, p := range []float64{0.025, 0.3, 0.975} {
+		q := BetaQuantile(p, 4, 9)
+		if got := RegularizedIncompleteBeta(q, 4, 9); math.Abs(got-p) > 1e-10 {
+			t.Fatalf("I(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	// Reference: Wilson 95% for 8/10 (computed from the closed form with
+	// z = 1.959964): [0.490162, 0.943317].
+	lo, hi := Wilson(8, 10, 0.95)
+	if math.Abs(lo-0.490162) > 1e-4 || math.Abs(hi-0.943317) > 1e-4 {
+		t.Fatalf("Wilson(8,10) = [%v, %v]", lo, hi)
+	}
+	// Degenerate ends stay inside [0, 1] and are non-trivial.
+	lo, hi = Wilson(0, 20, 0.95)
+	if lo != 0 || hi <= 0 || hi > 0.25 {
+		t.Fatalf("Wilson(0,20) = [%v, %v]", lo, hi)
+	}
+	lo, hi = Wilson(20, 20, 0.95)
+	if hi != 1 || lo >= 1 || lo < 0.75 {
+		t.Fatalf("Wilson(20,20) = [%v, %v]", lo, hi)
+	}
+	// The interval always contains the point estimate.
+	for _, c := range []struct{ k, n int }{{1, 7}, {5, 9}, {499, 1000}} {
+		lo, hi := Wilson(c.k, c.n, 0.99)
+		p := float64(c.k) / float64(c.n)
+		if p < lo || p > hi {
+			t.Fatalf("Wilson(%d,%d) = [%v, %v] excludes %v", c.k, c.n, lo, hi, p)
+		}
+	}
+}
+
+func TestClopperPearsonInterval(t *testing.T) {
+	// Reference: R binom.test(8, 10) 95% CI = [0.4439045, 0.9747893].
+	lo, hi := ClopperPearson(8, 10, 0.95)
+	if math.Abs(lo-0.4439045) > 1e-6 || math.Abs(hi-0.9747893) > 1e-6 {
+		t.Fatalf("ClopperPearson(8,10) = [%v, %v]", lo, hi)
+	}
+	// Closed-form ends: k=0 upper = 1-(α/2)^(1/n); k=n lower = (α/2)^(1/n).
+	lo, hi = ClopperPearson(0, 30, 0.95)
+	if lo != 0 || math.Abs(hi-(1-math.Pow(0.025, 1.0/30))) > 1e-10 {
+		t.Fatalf("ClopperPearson(0,30) = [%v, %v]", lo, hi)
+	}
+	lo, hi = ClopperPearson(30, 30, 0.95)
+	if hi != 1 || math.Abs(lo-math.Pow(0.025, 1.0/30)) > 1e-10 {
+		t.Fatalf("ClopperPearson(30,30) = [%v, %v]", lo, hi)
+	}
+	// Exactness: Clopper-Pearson is at least as wide as Wilson.
+	for _, c := range []struct{ k, n int }{{2, 12}, {8, 10}, {50, 200}} {
+		cpLo, cpHi := ClopperPearson(c.k, c.n, 0.95)
+		wLo, wHi := Wilson(c.k, c.n, 0.95)
+		if cpLo > wLo+1e-9 || cpHi < wHi-1e-9 {
+			t.Fatalf("CP(%d,%d) = [%v, %v] narrower than Wilson [%v, %v]",
+				c.k, c.n, cpLo, cpHi, wLo, wHi)
+		}
+	}
+}
+
+func TestProportionIntervalPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Wilson(1, 0, 0.95) },
+		func() { Wilson(-1, 5, 0.95) },
+		func() { Wilson(6, 5, 0.95) },
+		func() { Wilson(2, 5, 1.0) },
+		func() { ClopperPearson(2, 5, 0) },
+		func() { NormalQuantile(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -2,6 +2,7 @@ package testbench
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/biquad"
 	"repro/internal/ndf"
@@ -43,6 +44,11 @@ type Fig4MCParams struct {
 	Cols    int `json:"cols"`
 }
 
+// Validate bounds the die count.
+func (p *Fig4MCParams) Validate() error {
+	return validateTrials("dies", p.Dies)
+}
+
 // Fig6Params configures the "fig6" campaign.
 type Fig6Params struct {
 	Shift float64 `json:"shift"`
@@ -70,11 +76,30 @@ type NoiseParams struct {
 	Trials     int       `json:"trials"`
 }
 
+// Validate bounds the noise campaign's trial knobs.
+func (p *NoiseParams) Validate() error {
+	if err := validateTrials("trials", p.Trials); err != nil {
+		return err
+	}
+	if err := validateTrials("null_trials", p.NullTrials); err != nil {
+		return err
+	}
+	if p.Sigma < 0 {
+		return fmt.Errorf("negative sigma %v", p.Sigma)
+	}
+	return nil
+}
+
 // NoiseSweepParams configures the "noisesweep" campaign.
 type NoiseSweepParams struct {
 	Sigmas  []float64 `json:"sigmas"`
 	DevGrid []float64 `json:"dev_grid"`
 	Trials  int       `json:"trials"`
+}
+
+// Validate bounds the sweep's per-point trial count.
+func (p *NoiseSweepParams) Validate() error {
+	return validateTrials("trials", p.Trials)
 }
 
 // FaultsParams configures the "faults" campaign. A nil Threshold
@@ -87,12 +112,31 @@ type FaultsParams struct {
 }
 
 // YieldParams configures the "yield" campaign. A nil Threshold
-// calibrates one at the multi-parameter spec corners first.
+// calibrates one at the multi-parameter spec corners first. N is the
+// die count — the streaming reduction keeps memory flat, so production
+// runs of 10M+ dies validate and execute with O(workers) heap.
 type YieldParams struct {
 	N              int      `json:"n"`
 	ComponentSigma float64  `json:"component_sigma"`
 	Tol            float64  `json:"tol"`
 	Threshold      *float64 `json:"threshold,omitempty"`
+}
+
+// Validate bounds the die count to (0, MaxTrials].
+func (p *YieldParams) Validate() error {
+	return validateTrials("n", p.N)
+}
+
+// validateTrials is the shared trial-count bound: positive, at most
+// MaxTrials.
+func validateTrials(name string, n int) error {
+	if n < 1 {
+		return fmt.Errorf("%s = %d, need at least 1 trial", name, n)
+	}
+	if n > MaxTrials {
+		return fmt.Errorf("%s = %d exceeds the %d-trial bound", name, n, MaxTrials)
+	}
+	return nil
 }
 
 // SelfTestParams configures the "selftest" campaign. A nil Threshold
@@ -289,7 +333,7 @@ func init() {
 			} else if dec, err = calibrateMultiParam(ctx, sys, p.Tol); err != nil {
 				return nil, err
 			}
-			return runYield(ctx, sys, dec, p.N, p.ComponentSigma, p.Tol, ev.Seed(), ev.Engine())
+			return runYield(ctx, sys, dec, p.N, p.ComponentSigma, p.Tol, ev.Engine())
 		})
 
 	register("selftest", "monitor-BIST stuck-at campaign: the bank screens itself",

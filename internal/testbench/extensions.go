@@ -9,6 +9,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/ndf"
+	"repro/internal/stat"
 )
 
 // ExtQ is the Q-verification extension: NDF vs Q deviation under both
@@ -79,10 +80,15 @@ type FaultCase struct {
 
 // FaultTable is the component-level fault campaign: every parametric and
 // catastrophic fault of the Tow-Thomas realization, its behavioural
-// effect, its NDF, and the test verdict.
+// effect, its NDF, and the test verdict. CoverageLo/CoverageHi bound
+// the detected fraction with an exact 95% Clopper-Pearson interval —
+// fault lists are small, so the normal approximation behind Wilson is
+// not defensible here.
 type FaultTable struct {
-	Threshold float64
-	Cases     []FaultCase
+	Threshold  float64
+	Cases      []FaultCase
+	CoverageLo float64
+	CoverageHi float64
 }
 
 // DefaultFaultSet returns the campaign fault list: ±10% parametric
@@ -118,14 +124,22 @@ func RunFaultTable(sys *core.System, dec ndf.Decision, faults []biquad.Fault) (*
 	}, WithSystem(sys))
 }
 
-// runFaultTable is the registry implementation behind RunFaultTable.
+// runFaultTable is the registry implementation behind RunFaultTable. The
+// fault injections stream through the campaign reduction engine: each
+// chunk folds its cases into an ordered slice and chunks concatenate in
+// index order, so the table rows stay in fault order at any worker
+// count while the engine's memory stays O(workers + chunk).
 func runFaultTable(ctx context.Context, sys *core.System, dec ndf.Decision, faults []biquad.Fault, eng campaign.Engine) (*FaultTable, error) {
 	// Materialize the golden signature before fan-out so the sync.Once
 	// does not serialize the workers.
 	if _, err := sys.GoldenSignature(); err != nil {
 		return nil, err
 	}
-	cases, err := campaign.RunScratch(ctx, eng, len(faults),
+	cases, err := campaign.ReduceScratch(ctx, eng, len(faults),
+		campaign.Reducer[FaultCase, []FaultCase]{
+			Fold:  func(acc []FaultCase, _ int, c FaultCase) []FaultCase { return append(acc, c) },
+			Merge: func(into, next []FaultCase) []FaultCase { return append(into, next...) },
+		},
 		core.NewTrialScratch,
 		func(i int, sc *core.TrialScratch) (FaultCase, error) {
 			f := faults[i]
@@ -142,7 +156,17 @@ func runFaultTable(ctx context.Context, sys *core.System, dec ndf.Decision, faul
 	if err != nil {
 		return nil, err
 	}
-	return &FaultTable{Threshold: dec.Threshold, Cases: cases}, nil
+	out := &FaultTable{Threshold: dec.Threshold, Cases: cases}
+	if n := len(cases); n > 0 {
+		detected := 0
+		for _, c := range cases {
+			if c.Detected {
+				detected++
+			}
+		}
+		out.CoverageLo, out.CoverageHi = stat.ClopperPearson(detected, n, 0.95)
+	}
+	return out, nil
 }
 
 // Coverage returns the fraction of faults detected.
@@ -172,6 +196,7 @@ func (t *FaultTable) Render() string {
 		fmt.Fprintf(&b, "%-12s %-10.3g %-10.3g %.4f   %s\n",
 			c.Fault, c.Params.F0/1e3, c.Params.Q, c.NDF, verdict)
 	}
-	fmt.Fprintf(&b, "coverage: %.0f%%\n", 100*t.Coverage())
+	fmt.Fprintf(&b, "coverage: %.0f%% (95%% CI %.0f%%–%.0f%%)\n",
+		100*t.Coverage(), 100*t.CoverageLo, 100*t.CoverageHi)
 	return b.String()
 }

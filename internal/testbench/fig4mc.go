@@ -8,7 +8,6 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/monitor"
 	"repro/internal/mos"
-	"repro/internal/rng"
 	"repro/internal/stat"
 )
 
@@ -46,7 +45,7 @@ func runFig4MC(ctx context.Context, mi, nDies, nCols int, seed uint64, eng campa
 		return nil, fmt.Errorf("testbench: need at least 1 die and 2 columns, got %d/%d", nDies, nCols)
 	}
 	bank := monitor.NewAnalyticTableI()
-	xs, ys, err := bank.MCEnvelopeCtx(ctx, mi, mos.Default65nmVariation(), rng.New(seed), nDies, nCols, eng)
+	xs, ys, err := bank.MCEnvelopeCtx(ctx, mi, mos.Default65nmVariation(), seed, nDies, nCols, eng)
 	if err != nil {
 		return nil, err
 	}

@@ -31,10 +31,10 @@ type Noise struct {
 // deviations with trials captures each. Every measurement averages the
 // NDF over 5 consecutive Lissajous periods (1 ms of observation), the
 // variance-reduction step that makes the paper's 1% claim reachable.
-// The Monte-Carlo trials fan out across the campaign pool; per-trial
-// streams are derived serially from the seed, so the detection rates are
-// bit-identical at any worker count. It is a thin wrapper over the
-// campaign registry ("noise").
+// The Monte-Carlo trials fan out across the campaign pool; each trial
+// derives its stream in-worker as a pure function of the seed, so the
+// detection rates are bit-identical at any worker count. It is a thin
+// wrapper over the campaign registry ("noise").
 func RunNoiseDetection(sys *core.System, sigma float64, devs []float64, nullTrials, trials int, seed uint64) (*Noise, error) {
 	return runAs[Noise](context.Background(), Spec{
 		Campaign: "noise",
@@ -43,29 +43,36 @@ func RunNoiseDetection(sys *core.System, sigma float64, devs []float64, nullTria
 	}, WithSystem(sys))
 }
 
-// runNoiseDetection is the registry implementation behind RunNoiseDetection.
+// runNoiseDetection is the registry implementation behind
+// RunNoiseDetection. Every trial derives its private noise stream inside
+// the worker as a pure function of (seed, phase base + trial index) via
+// Engine.Stream — no serial stream pre-pass. The null calibration phase
+// must materialize its sample (the threshold is a quantile of the whole
+// distribution), but every rate-estimation phase is a pure count and
+// streams through the reduction engine with O(workers + chunk) memory,
+// which is what lets the detection rates sharpen with million-trial
+// specs.
 func runNoiseDetection(ctx context.Context, sys *core.System, sigma float64, devs []float64, nullTrials, trials int, seed uint64, eng campaign.Engine) (*Noise, error) {
 	const periods = 5
-	src := rng.New(seed)
-	// measure runs one batch of averaged-NDF trials at a deviation, using
-	// streams pre-derived (serially) with the given base offset.
-	measure := func(shift float64, n int, base uint64) ([]float64, error) {
+	eng.Seed = seed
+	// trialAt builds the per-trial measurement for one deviation: the
+	// shifted CUT is constructed once and shared read-only by the pool.
+	trialAt := func(shift float64, base uint64) (func(i int, sc *core.TrialScratch) (float64, error), error) {
 		cut, err := sys.Shifted(shift)
 		if err != nil {
 			return nil, err
 		}
-		streams := make([]*rng.Stream, n)
-		for i := range streams {
-			streams[i] = src.Split(base + uint64(i))
-		}
-		return campaign.RunScratch(ctx, eng, n, core.NewTrialScratch,
-			func(i int, sc *core.TrialScratch) (float64, error) {
-				// The outer pool owns the parallelism: periods run serially
-				// on this worker's scratch.
-				return sys.AveragedNDFScratch(cut, sigma, streams[i], periods, sc)
-			})
+		return func(i int, sc *core.TrialScratch) (float64, error) {
+			// The outer pool owns the parallelism: periods run serially
+			// on this worker's scratch.
+			return sys.AveragedNDFScratch(cut, sigma, streamAt(eng, base, i), periods, sc)
+		}, nil
 	}
-	nulls, err := measure(0, nullTrials, 0)
+	nullTrial, err := trialAt(0, phaseBase(0))
+	if err != nil {
+		return nil, err
+	}
+	nulls, err := campaign.RunScratch(ctx, eng, nullTrials, core.NewTrialScratch, nullTrial)
 	if err != nil {
 		return nil, err
 	}
@@ -74,32 +81,63 @@ func runNoiseDetection(ctx context.Context, sys *core.System, sigma float64, dev
 		return nil, err
 	}
 	out := &Noise{Sigma: sigma, Periods: periods, Threshold: dec.Threshold, Devs: devs}
+	// detectionRate streams one phase's trials through the reducer,
+	// counting threshold exceedances.
+	detectionRate := func(shift float64, base uint64) (float64, error) {
+		trial, err := trialAt(shift, base)
+		if err != nil {
+			return 0, err
+		}
+		det, err := campaign.ReduceScratch(ctx, eng, trials,
+			detectReducer(dec), core.NewTrialScratch, trial)
+		if err != nil {
+			return 0, err
+		}
+		return float64(det) / float64(trials), nil
+	}
 	// Fresh nulls for the false-alarm estimate.
-	fresh, err := measure(0, trials, uint64(1e6))
-	if err != nil {
+	if out.FalseRate, err = detectionRate(0, phaseBase(1)); err != nil {
 		return nil, err
 	}
-	fp := 0
-	for _, v := range fresh {
-		if !dec.Pass(v) {
-			fp++
-		}
-	}
-	out.FalseRate = float64(fp) / float64(trials)
 	for di, d := range devs {
-		vals, err := measure(d, trials, uint64(2e6)+uint64(di*trials))
+		rate, err := detectionRate(d, phaseBase(2+di))
 		if err != nil {
 			return nil, err
 		}
-		det := 0
-		for _, v := range vals {
-			if !dec.Pass(v) {
-				det++
-			}
-		}
-		out.Detect = append(out.Detect, float64(det)/float64(trials))
+		out.Detect = append(out.Detect, rate)
 	}
 	return out, nil
+}
+
+// phaseBase gives measurement phase p its own disjoint stream-id space.
+// Stream ids are pure functions of (seed, id) now — unlike the old
+// stateful Split, where reused ids still produced distinct streams — so
+// two phases sharing an id would reuse the exact same noise draws and
+// silently correlate their estimates. A 2^32 stride keeps phases
+// disjoint for any trial count up to MaxTrials (1e8 < 2^32).
+func phaseBase(p int) uint64 { return uint64(p) << 32 }
+
+// detectReducer counts trials whose averaged NDF fails the decision —
+// the accumulator shape every detection-rate phase shares. Integer
+// merges are exact, so the streamed count is bit-identical to the
+// materialized one at any chunk size and worker count.
+func detectReducer(dec ndf.Decision) campaign.Reducer[float64, int] {
+	return campaign.Reducer[float64, int]{
+		Fold: func(acc int, _ int, v float64) int {
+			if !dec.Pass(v) {
+				acc++
+			}
+			return acc
+		},
+		Merge: func(into, next int) int { return into + next },
+	}
+}
+
+// streamAt derives the trial stream for a phase with its own id base —
+// a pure function of (engine seed, base + i), safe to call from inside
+// any worker.
+func streamAt(eng campaign.Engine, base uint64, i int) *rng.Stream {
+	return rng.NewSub(eng.Seed, base+uint64(i))
 }
 
 // Render summarizes the detection experiment.

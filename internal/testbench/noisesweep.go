@@ -8,7 +8,6 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/ndf"
-	"repro/internal/rng"
 )
 
 // NoiseSweep generalizes the paper's single-point noise experiment: for
@@ -23,9 +22,9 @@ type NoiseSweep struct {
 
 // RunNoiseSweep probes the deviation grid (ascending, positive) at every
 // noise sigma, fanning the Monte-Carlo trials out across all CPUs. It is
-// a thin wrapper over the campaign registry ("noisesweep"); trial streams
-// are derived serially from the seed before each fan-out, so the sweep is
-// bit-identical at any worker count.
+// a thin wrapper over the campaign registry ("noisesweep"); each trial
+// derives its stream in-worker as a pure function of the seed, so the
+// sweep is bit-identical at any worker count.
 func RunNoiseSweep(sys *core.System, sigmas, devGrid []float64, trials int, seed uint64) (*NoiseSweep, error) {
 	return runAs[NoiseSweep](context.Background(), Spec{
 		Campaign: "noisesweep",
@@ -34,34 +33,42 @@ func RunNoiseSweep(sys *core.System, sigmas, devGrid []float64, trials int, seed
 	}, WithSystem(sys))
 }
 
-// runNoiseSweep is the registry implementation behind RunNoiseSweep.
+// runNoiseSweep is the registry implementation behind RunNoiseSweep. As
+// in runNoiseDetection, only the per-sigma null calibration materializes
+// its sample (quantile threshold); every detection probe is a streamed
+// count, and all trial streams are derived inside the workers — the
+// sweep holds O(trials at one sigma) for calibration and O(workers)
+// for everything else.
 func runNoiseSweep(ctx context.Context, sys *core.System, sigmas, devGrid []float64, trials int, seed uint64, eng campaign.Engine) (*NoiseSweep, error) {
 	const periods = 3
 	out := &NoiseSweep{Sigmas: sigmas, Periods: periods}
-	src := rng.New(seed)
+	eng.Seed = seed
 	for si, sigma := range sigmas {
 		sigma := sigma
-		// measure runs the averaged-NDF trials at one deviation; the
-		// per-trial streams are pre-derived serially so fan-out preserves
-		// the Split order. The shifted CUT is built once and shared by
-		// the trials (backends are safe for concurrent Output use).
-		measure := func(shift float64, streams []*rng.Stream) ([]float64, error) {
+		// trialAt builds the per-trial measurement at one deviation; the
+		// shifted CUT is built once and shared by the trials (backends
+		// are safe for concurrent Output use).
+		trialAt := func(shift float64, base uint64) (func(i int, sc *core.TrialScratch) (float64, error), error) {
 			cut, err := sys.Shifted(shift)
 			if err != nil {
 				return nil, err
 			}
-			return campaign.RunScratch(ctx, eng, len(streams), core.NewTrialScratch,
-				func(i int, sc *core.TrialScratch) (float64, error) {
-					// The outer pool owns the parallelism: periods run
-					// serially on this worker's scratch.
-					return sys.AveragedNDFScratch(cut, sigma, streams[i], periods, sc)
-				})
+			return func(i int, sc *core.TrialScratch) (float64, error) {
+				// The outer pool owns the parallelism: periods run
+				// serially on this worker's scratch.
+				return sys.AveragedNDFScratch(cut, sigma, streamAt(eng, base, i), periods, sc)
+			}, nil
 		}
-		streams := make([]*rng.Stream, trials)
-		for i := range streams {
-			streams[i] = src.Split(uint64(si*100000 + i))
+		// Phase p of sigma si gets stream-id base phaseBase(si*(len(devGrid)+1)+p):
+		// every (sigma, phase) pair owns a disjoint 2^32-wide id space, so no
+		// two measurements can reuse a noise stream at any trial count the
+		// registry validates (see phaseBase).
+		base := func(p int) uint64 { return phaseBase(si*(len(devGrid)+1) + p) }
+		nullTrial, err := trialAt(0, base(0))
+		if err != nil {
+			return nil, err
 		}
-		nulls, err := measure(0, streams)
+		nulls, err := campaign.RunScratch(ctx, eng, trials, core.NewTrialScratch, nullTrial)
 		if err != nil {
 			return nil, err
 		}
@@ -71,18 +78,14 @@ func runNoiseSweep(ctx context.Context, sys *core.System, sigmas, devGrid []floa
 		}
 		minDet := 1.0
 		for di, d := range devGrid {
-			for i := range streams {
-				streams[i] = src.Split(uint64(si*100000 + (di+1)*1000 + i))
-			}
-			vals, err := measure(d, streams)
+			trial, err := trialAt(d, base(1+di))
 			if err != nil {
 				return nil, err
 			}
-			det := 0
-			for _, v := range vals {
-				if !dec.Pass(v) {
-					det++
-				}
+			det, err := campaign.ReduceScratch(ctx, eng, trials,
+				detectReducer(dec), core.NewTrialScratch, trial)
+			if err != nil {
+				return nil, err
 			}
 			if float64(det) >= 0.9*float64(trials) {
 				minDet = d

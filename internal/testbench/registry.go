@@ -176,10 +176,36 @@ func unmarshalParams(data []byte, into any) error {
 	return dec.Decode(into)
 }
 
+// MaxTrials bounds every campaign's trial-count knobs. The streaming
+// reduction engine keeps memory flat well past this, but a run above it
+// is virtually always a typo'd spec, and the bound keeps a single HTTP
+// submission from pinning a server for days. 10M-trial production specs
+// — the scale the paper's yield and coverage statistics sharpen at —
+// validate cleanly.
+const MaxTrials = 100_000_000
+
+// paramsValidator is implemented by params structs that constrain their
+// values beyond what the JSON schema can express (trial-count bounds,
+// positive sigmas). Validate and Run both consult it after decoding.
+type paramsValidator interface{ Validate() error }
+
+// validateParams runs the params struct's own semantic validation when
+// it declares one.
+func validateParams(campaign string, params any) error {
+	v, ok := params.(paramsValidator)
+	if !ok {
+		return nil
+	}
+	if err := v.Validate(); err != nil {
+		return fmt.Errorf("testbench: campaign %s: bad params: %w", campaign, err)
+	}
+	return nil
+}
+
 // Validate checks a spec against the registry — the campaign exists, the
-// backend name is known, and the params decode into the campaign's
-// schema — without running anything. The HTTP service gates submissions
-// on it.
+// backend name is known, the spec knobs are in range, and the params
+// decode into the campaign's schema (and pass its semantic validation)
+// — without running anything. The HTTP service gates submissions on it.
 func Validate(spec Spec) error {
 	def, err := lookup(spec.Campaign)
 	if err != nil {
@@ -198,10 +224,14 @@ func Validate(spec Spec) error {
 				spec.Campaign, spec.Backend, strings.Join(core.Backends(), " or "))
 		}
 	}
-	if err := decodeParams(spec.Params, def.newParams()); err != nil {
+	if spec.Chunk < 0 {
+		return fmt.Errorf("testbench: campaign %s: negative chunk %d", spec.Campaign, spec.Chunk)
+	}
+	params := def.newParams()
+	if err := decodeParams(spec.Params, params); err != nil {
 		return fmt.Errorf("testbench: campaign %s: bad params: %w", spec.Campaign, err)
 	}
-	return nil
+	return validateParams(spec.Campaign, params)
 }
 
 // DecodeResult restores a Result from its JSON encoding, rebuilding the

@@ -26,6 +26,12 @@ type Spec struct {
 	// Workers bounds the campaign worker pool (0 = all CPUs). Results
 	// never depend on it.
 	Workers int `json:"workers,omitempty"`
+	// Chunk is the trial count per reduction chunk of the streaming
+	// campaigns (0 = campaign.DefaultChunk). It is part of the spec — and
+	// so of the reproducibility contract — because a non-associative
+	// reduction groups floating-point folds by chunk; at any fixed chunk
+	// the result is still bit-identical at every worker count.
+	Chunk int `json:"chunk,omitempty"`
 	// Scalar disables the batched signature engine and runs the retained
 	// per-tick scalar pipeline (bit-identical, slower) — the knob the
 	// engine-agreement studies flip.
@@ -130,9 +136,10 @@ func (ev *Env) System() (*core.System, error) {
 }
 
 // Engine returns the campaign engine every fan-out of this run shares:
-// the resolved worker bound, the spec seed, and the progress sink.
+// the resolved worker bound, the spec seed, the chunk size, and the
+// progress sink.
 func (ev *Env) Engine() campaign.Engine {
-	return campaign.Engine{Workers: ev.workers, Seed: ev.spec.Seed, Progress: ev.progress}
+	return campaign.Engine{Workers: ev.workers, Seed: ev.spec.Seed, Chunk: ev.spec.Chunk, Progress: ev.progress}
 }
 
 // Seed returns the spec's root seed.
@@ -150,6 +157,15 @@ func Run(ctx context.Context, spec Spec, opts ...Option) (*Result, error) {
 	params := def.newParams()
 	if err := decodeParams(spec.Params, params); err != nil {
 		return nil, fmt.Errorf("testbench: campaign %s: bad params: %w", spec.Campaign, err)
+	}
+	if err := validateParams(spec.Campaign, params); err != nil {
+		return nil, err
+	}
+	// Run and Validate must agree: a spec the HTTP gate would reject
+	// cannot slip through the programmatic path with the envelope
+	// recording a chunk size the engine silently replaced.
+	if spec.Chunk < 0 {
+		return nil, fmt.Errorf("testbench: campaign %s: negative chunk %d", spec.Campaign, spec.Chunk)
 	}
 	cfg := runConfig{}
 	for _, opt := range opts {

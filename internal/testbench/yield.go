@@ -8,14 +8,16 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/ndf"
-	"repro/internal/rng"
+	"repro/internal/stat"
 )
 
 // Yield is a production-flow simulation: a population of CUTs with
 // Gaussian component tolerances goes through the signature test, and the
 // decision is scored against the true specification. This turns the
 // paper's method into the numbers a test engineer actually signs off on:
-// yield, defect level (escapes) and overkill.
+// yield, defect level (escapes) and overkill — each with a 95% Wilson
+// score interval, so a spec that asks for more trials visibly tightens
+// the estimate.
 //
 // The specification covers all three behavioural parameters — |Δf0| ≤
 // tol, |ΔQ| ≤ 2·tol, |Δgain| ≤ tol — because the NDF is a functional
@@ -31,6 +33,11 @@ type Yield struct {
 	PassCount      int
 	Escapes        int // defective circuits that passed (test escapes)
 	Overkill       int // good circuits that failed (yield loss)
+	// YieldLo/YieldHi bound the pass rate with a 95% Wilson score
+	// interval; DefectLo/DefectHi bound the defect level (escapes over
+	// shipped parts) the same way.
+	YieldLo, YieldHi   float64
+	DefectLo, DefectHi float64
 }
 
 // CalibrateMultiParam places the acceptance threshold at the worst NDF
@@ -71,9 +78,10 @@ func calibrateMultiParam(ctx context.Context, sys *core.System, tol float64) (nd
 
 // RunYield draws n CUTs with component sigma, tests each against the
 // decision, and scores against the spec. It is a thin wrapper over the
-// campaign registry ("yield"); the CUTs are independent dies and fan out
-// across the campaign pool; per-die streams are derived serially from the
-// seed, so the scores are bit-identical at any worker count.
+// campaign registry ("yield"); the CUTs are independent dies streamed
+// through the campaign reduction engine — peak memory is O(workers +
+// chunk) whatever n is, and the scores are bit-identical at any worker
+// count.
 func RunYield(sys *core.System, dec ndf.Decision, n int, componentSigma, tol float64, seed uint64) (*Yield, error) {
 	return runAs[Yield](context.Background(), Spec{
 		Campaign: "yield",
@@ -82,22 +90,58 @@ func RunYield(sys *core.System, dec ndf.Decision, n int, componentSigma, tol flo
 	}, WithSystem(sys))
 }
 
-// runYield is the registry implementation behind RunYield.
-func runYield(ctx context.Context, sys *core.System, dec ndf.Decision, n int, componentSigma, tol float64, seed uint64, eng campaign.Engine) (*Yield, error) {
+// yieldCounts is the per-chunk accumulator of the yield reduction: four
+// integers, merged by exact addition — so the streamed scores match the
+// materialized ones bit for bit at any chunk size and worker count.
+type yieldCounts struct {
+	trueGood, pass, escapes, overkill int
+}
+
+// foldVerdict scores one die into the accumulator.
+func (c yieldCounts) foldVerdict(truthGood, pass bool) yieldCounts {
+	if truthGood {
+		c.trueGood++
+	}
+	if pass {
+		c.pass++
+	}
+	switch {
+	case pass && !truthGood:
+		c.escapes++
+	case !pass && truthGood:
+		c.overkill++
+	}
+	return c
+}
+
+// runYield is the registry implementation behind RunYield. Each die
+// derives its private random stream inside the worker as a pure function
+// of (seed, die index) via Engine.Stream — there is no O(n) serial
+// stream pre-pass — and the verdicts fold into yieldCounts chunk by
+// chunk, so a 10M-die run holds a few accumulators, not 10M result
+// slots.
+func runYield(ctx context.Context, sys *core.System, dec ndf.Decision, n int, componentSigma, tol float64, eng campaign.Engine) (*Yield, error) {
 	if _, err := sys.GoldenSignature(); err != nil {
 		return nil, err
 	}
 	golden := sys.Golden()
-	src := rng.New(seed)
-	streams := make([]*rng.Stream, n)
-	for i := range streams {
-		streams[i] = src.Split(uint64(i))
-	}
 	type verdict struct{ truthGood, pass bool }
-	verdicts, err := campaign.RunScratch(ctx, eng, n,
+	counts, err := campaign.ReduceScratch(ctx, eng, n,
+		campaign.Reducer[verdict, yieldCounts]{
+			Fold: func(acc yieldCounts, _ int, v verdict) yieldCounts {
+				return acc.foldVerdict(v.truthGood, v.pass)
+			},
+			Merge: func(into, next yieldCounts) yieldCounts {
+				into.trueGood += next.trueGood
+				into.pass += next.pass
+				into.escapes += next.escapes
+				into.overkill += next.overkill
+				return into
+			},
+		},
 		core.NewTrialScratch,
 		func(i int, sc *core.TrialScratch) (verdict, error) {
-			s := streams[i]
+			s := eng.Stream(i)
 			// Per-die component tolerances, injected at realization level
 			// through the backend (the draw order is part of the
 			// bit-reproducibility contract).
@@ -126,20 +170,14 @@ func runYield(ctx context.Context, sys *core.System, dec ndf.Decision, n int, co
 	if err != nil {
 		return nil, err
 	}
-	out := &Yield{N: n, ComponentSigma: componentSigma, Tolerance: tol, Threshold: dec.Threshold}
-	for _, v := range verdicts {
-		if v.truthGood {
-			out.TrueGood++
-		}
-		if v.pass {
-			out.PassCount++
-		}
-		switch {
-		case v.pass && !v.truthGood:
-			out.Escapes++
-		case !v.pass && v.truthGood:
-			out.Overkill++
-		}
+	out := &Yield{
+		N: n, ComponentSigma: componentSigma, Tolerance: tol, Threshold: dec.Threshold,
+		TrueGood: counts.trueGood, PassCount: counts.pass,
+		Escapes: counts.escapes, Overkill: counts.overkill,
+	}
+	out.YieldLo, out.YieldHi = stat.Wilson(out.PassCount, out.N, 0.95)
+	if out.PassCount > 0 {
+		out.DefectLo, out.DefectHi = stat.Wilson(out.Escapes, out.PassCount, 0.95)
 	}
 	return out, nil
 }
@@ -170,8 +208,9 @@ func (y *Yield) Render() string {
 	fmt.Fprintf(&b, "production yield simulation: %d CUTs, component σ %.1f%%, spec |Δf0| ≤ %.0f%%, threshold %.4f\n",
 		y.N, y.ComponentSigma*100, y.Tolerance*100, y.Threshold)
 	fmt.Fprintf(&b, "  true good:    %d (%.1f%%)\n", y.TrueGood, 100*float64(y.TrueGood)/float64(y.N))
-	fmt.Fprintf(&b, "  test yield:   %.1f%%\n", 100*y.YieldRate())
-	fmt.Fprintf(&b, "  escapes:      %d (defect level %.2f%% of shipped)\n", y.Escapes, 100*y.DefectLevel())
+	fmt.Fprintf(&b, "  test yield:   %.1f%% (95%% CI %.1f%%–%.1f%%)\n", 100*y.YieldRate(), 100*y.YieldLo, 100*y.YieldHi)
+	fmt.Fprintf(&b, "  escapes:      %d (defect level %.2f%% of shipped, 95%% CI %.2f%%–%.2f%%)\n",
+		y.Escapes, 100*y.DefectLevel(), 100*y.DefectLo, 100*y.DefectHi)
 	fmt.Fprintf(&b, "  overkill:     %d (%.2f%% of good circuits)\n", y.Overkill, 100*y.OverkillRate())
 	return b.String()
 }
