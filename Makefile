@@ -1,4 +1,8 @@
-# CI entry points. `make ci` is the gate: format check, vet, build, the
+# CI entry points. `make ci` is the gate, ordered cheapest-first so the
+# fastest check that can fail, fails first: format check, then the
+# static-analysis gate (`lint` = go vet + the in-repo mclint suite —
+# before any compile/test work because a determinism or cancellation
+# violation invalidates everything downstream), then build, the
 # race-tested short suite, a one-iteration benchmark smoke pass over the
 # transient/campaign benchmarks (catches perf-path regressions that only
 # show up when the solver actually runs), and an mcserved smoke run that
@@ -9,9 +13,15 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: ci fmt vet build test race bench bench-json bench-smoke bench-diff fuzz-smoke serve-smoke
+# Perf trajectory snapshot number: bump per PR (or override with
+# `make bench-json BENCH_N=7`) so BENCH_<N>.json files accumulate and
+# bench-diff always compares the two most recent.
+BENCH_N ?= 6
+BENCH_PREV = $(shell expr $(BENCH_N) - 1)
 
-ci: fmt vet build race bench-smoke serve-smoke
+.PHONY: ci fmt vet lint lint-json build test race bench bench-json bench-smoke bench-diff fuzz-smoke serve-smoke
+
+ci: fmt lint build race bench-smoke serve-smoke
 
 # gofmt gate: fail with the offending file list when any file is unformatted.
 fmt:
@@ -20,6 +30,20 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Static-analysis gate: go vet plus mclint, the in-repo suite enforcing
+# the engine's determinism (detrand, maporder), cancellation (ctxflow),
+# hot-path allocation (hotalloc) and error-handling (errdrop) contracts.
+# Zero unsuppressed findings or the build fails; see cmd/mclint and
+# README "Static analysis" for the directive escape hatch.
+lint: vet
+	$(GO) run ./cmd/mclint
+
+# Machine-readable findings for the CI artifact: always exits 0 via the
+# trailing guard (the blocking gate is `lint`), so the artifact uploads
+# even when findings exist.
+lint-json:
+	$(GO) run ./cmd/mclint -json > mclint.json || true
 
 build:
 	$(GO) build ./...
@@ -39,11 +63,11 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 # Perf trajectory snapshot: the full benchmark suite in `go test -json`
-# event form (benchstat reads it directly: `benchstat BENCH_5.json`, and
-# cmd/benchdiff compares two snapshots without external tools).
-# Bump the file name per PR so the trajectory accumulates.
+# event form (benchstat reads it directly: `benchstat BENCH_$(BENCH_N).json`,
+# and cmd/benchdiff compares two snapshots without external tools).
+# BENCH_N bumps per PR so the trajectory accumulates.
 bench-json:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ -json . > BENCH_5.json
+	$(GO) test -bench=. -benchtime=1x -run=^$$ -json . > BENCH_$(BENCH_N).json
 
 # Benchstat-style regression report between the two most recent
 # snapshots, implemented in-repo (cmd/benchdiff, stdlib only) so CI needs
@@ -53,7 +77,7 @@ bench-json:
 # runs it as a non-blocking report step — single-iteration snapshots are
 # noisy, so only humans act on it.
 bench-diff:
-	$(GO) run ./cmd/benchdiff -old BENCH_4.json -new BENCH_5.json
+	$(GO) run ./cmd/benchdiff -old BENCH_$(BENCH_PREV).json -new BENCH_$(BENCH_N).json
 
 # Smoke gate: single-iteration run of the SPICE transient, the
 # SPICE-campaign, the batched-signature-engine, the streaming-reduction

@@ -75,10 +75,15 @@ func main() {
 		}
 		fmt.Printf("%-34s %14.0f %14.0f %7.2fx%s\n", name, ov, nv, ratio, mark)
 	}
+	gone := make([]string, 0, len(oldNs))
 	for name := range oldNs {
 		if _, ok := newNs[name]; !ok {
-			fmt.Printf("%-34s %14.0f %14s %8s\n", name, oldNs[name], "-", "gone")
+			gone = append(gone, name)
 		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Printf("%-34s %14.0f %14s %8s\n", name, oldNs[name], "-", "gone")
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d pinned benchmark(s) regressed more than %.0f%%\n",
@@ -104,7 +109,7 @@ func parseSnapshot(path string) (map[string]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only; scanner errors surface below
 	buffers := map[string]*strings.Builder{}
 	order := []string{}
 	sc := bufio.NewScanner(f)

@@ -1,0 +1,87 @@
+// Command mclint runs the repository's static-analysis suite
+// (internal/lint): stdlib-only analyzers that enforce the engine's
+// determinism (detrand, maporder), cancellation (ctxflow), hot-path
+// allocation (hotalloc), and error-handling (errdrop) contracts.
+//
+// Usage:
+//
+//	mclint [-C dir] [-json] [-list]
+//
+// mclint analyzes every non-test package of the module rooted at -C
+// (default "."). Findings print one per line as
+// "file:line:col: [analyzer] message"; -json emits the same findings as
+// a JSON array for CI artifacts. The exit status is 1 when findings
+// exist, 2 on driver errors, 0 on a clean tree.
+//
+// A finding is suppressed by a justified directive on its line or the
+// line above:
+//
+//	//mclint:<analyzer> <why this occurrence is safe>
+//
+// Bare directives (no justification) and unknown analyzer names are
+// themselves findings, so the escape hatch stays auditable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	root := flag.String("C", ".", "module root to analyze")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	pkgs, err := lint.LoadModule(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mclint:", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(pkgs, lint.Analyzers())
+
+	// Report paths relative to the analyzed root so output is stable
+	// across checkouts (and readable in CI logs and artifacts).
+	absRoot, err := filepath.Abs(*root)
+	if err == nil {
+		for i := range findings {
+			if rel, rerr := filepath.Rel(absRoot, findings[i].File); rerr == nil {
+				findings[i].File = rel
+			}
+		}
+	}
+
+	if *asJSON {
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "mclint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*asJSON {
+			fmt.Fprintf(os.Stderr, "mclint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}

@@ -66,7 +66,7 @@ func run(ctx context.Context, addr string, smoke bool) error {
 	fmt.Printf("mcserved listening on http://%s\n", ln.Addr())
 	if smoke {
 		err := smokeTest("http://" + ln.Addr().String())
-		hs.Close()
+		_ = hs.Close() // smoke exit path; the smokeTest error is the verdict
 		<-errCh
 		return err
 	}
@@ -99,7 +99,7 @@ func smokeTest(base string) error {
 		Name string `json:"name"`
 	}
 	err = json.NewDecoder(resp.Body).Decode(&infos)
-	resp.Body.Close()
+	_ = resp.Body.Close() // body fully consumed; decode errors surface below
 	if err != nil {
 		return err
 	}
@@ -115,7 +115,7 @@ func smokeTest(base string) error {
 	}
 	var st serve.JobStatus
 	err = json.NewDecoder(resp.Body).Decode(&st)
-	resp.Body.Close()
+	_ = resp.Body.Close() // body fully consumed; decode errors surface below
 	if err != nil {
 		return err
 	}
@@ -131,7 +131,7 @@ func smokeTest(base string) error {
 			return err
 		}
 		err = json.NewDecoder(resp.Body).Decode(&st)
-		resp.Body.Close()
+		_ = resp.Body.Close() // body fully consumed; decode errors surface below
 		if err != nil {
 			return err
 		}

@@ -79,7 +79,7 @@ func main() {
 		fmt.Printf("  event: state=%s progress=%d/%d\n",
 			final.State, final.Progress.Done, final.Progress.Total)
 	}
-	events.Body.Close()
+	_ = events.Body.Close() // stream drained to the terminal frame above
 
 	// 4. The terminal frame carries the uniform Result envelope; decode
 	// it back into the typed payload through the registry.
@@ -121,7 +121,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	resp.Body.Close()
+	_ = resp.Body.Close() // cancel ack carries no body worth keeping
 	for {
 		var cur serve.JobStatus
 		mustGetJSON(ts.URL+"/v1/jobs/"+job.ID, &cur)
@@ -143,7 +143,7 @@ func mustGetJSON(url string, into any) {
 }
 
 func mustDecode(resp *http.Response, into any) {
-	defer resp.Body.Close()
+	defer func() { _ = resp.Body.Close() }() // body fully consumed by Decode
 	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
 		log.Fatal(err)
 	}

@@ -514,11 +514,20 @@ func (s *System) NDFOfShift(shift float64) (float64, error) {
 	return s.NDFOfDeviation(Deviation{F0Shift: shift})
 }
 
+// legacyCtx is the single audited root context behind the ctx-less
+// legacy wrappers (SweepF0, AveragedNDF, CalibrateFromTolerance, …):
+// they run to completion by design. New code accepts a caller context
+// and uses the Ctx variants — mclint's ctxflow analyzer flags any other
+// Background context in the library.
+func legacyCtx() context.Context {
+	return context.Background() //mclint:ctxflow single audited root for the ctx-less legacy wrappers; new code accepts a caller ctx
+}
+
 // SweepF0 evaluates NDFOfShift over a deviation grid (the Fig. 8 sweep)
 // in parallel across all CPUs; the output order matches shifts and the
 // result is deterministic.
 func (s *System) SweepF0(shifts []float64) ([]float64, error) {
-	return s.SweepF0Ctx(context.Background(), shifts, campaign.Engine{})
+	return s.SweepF0Ctx(legacyCtx(), shifts, campaign.Engine{})
 }
 
 // SweepF0Ctx is SweepF0 under an explicit context and campaign engine
@@ -556,7 +565,7 @@ func (s *System) SweepF0Ctx(ctx context.Context, shifts []float64, eng campaign.
 // the substream noise.Split(k), so the periods fan out across the
 // campaign pool and the average is deterministic at any worker count.
 func (s *System) AveragedNDF(c CUT, sigma float64, noise *rng.Stream, periods int) (float64, error) {
-	return s.AveragedNDFCtx(context.Background(), c, sigma, noise, periods, 0)
+	return s.AveragedNDFCtx(legacyCtx(), c, sigma, noise, periods, 0)
 }
 
 // AveragedNDFCtx is AveragedNDF under an explicit context and worker-pool
@@ -572,7 +581,7 @@ func (s *System) AveragedNDFCtx(ctx context.Context, c CUT, sigma float64, noise
 // worker pools, so every trial a worker executes reuses one set of
 // buffers. Scratch never affects the result.
 func (s *System) AveragedNDFScratch(c CUT, sigma float64, noise *rng.Stream, periods int, sc *TrialScratch) (float64, error) {
-	return s.averagedNDF(context.Background(), c, sigma, noise, periods, 1, sc)
+	return s.averagedNDF(legacyCtx(), c, sigma, noise, periods, 1, sc)
 }
 
 // averagedNDF implements the AveragedNDF variants. In the batched engine
@@ -684,7 +693,7 @@ func (s *System) Test(c CUT, dec ndf.Decision, sigma float64, noise *rng.Stream)
 // acceptance threshold at the NDF of the tolerance edges — the Fig. 8
 // PASS/FAIL band construction.
 func (s *System) CalibrateFromTolerance(tol float64, gridPoints int) (ndf.Decision, error) {
-	return s.CalibrateFromToleranceCtx(context.Background(), tol, gridPoints, campaign.Engine{})
+	return s.CalibrateFromToleranceCtx(legacyCtx(), tol, gridPoints, campaign.Engine{})
 }
 
 // CalibrateFromToleranceCtx is CalibrateFromTolerance under an explicit

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detrand enforces the determinism contract behind the bit-identical
+// campaign guarantee: inside the engine packages (internal/campaign,
+// internal/core, internal/monitor, internal/ndf) — and inside any
+// closure handed to the campaign engine from anywhere — nothing may
+// read the wall clock or a global randomness source. Every per-trial
+// stream must be a pure function of (seed, trial index) via
+// rng.NewSub, or the same campaign stops reproducing across worker
+// counts, schedulers, and machines.
+type detrand struct{}
+
+func (detrand) Name() string { return "detrand" }
+func (detrand) Doc() string {
+	return "no wall clock or global randomness in engine packages or worker/fold closures"
+}
+
+// detrandScope lists the package-path suffixes whose whole source is in
+// scope (matched by suffix so the fixture module participates too).
+var detrandScope = []string{
+	"internal/campaign",
+	"internal/core",
+	"internal/monitor",
+	"internal/ndf",
+}
+
+// bannedTimeFuncs are the nondeterministic entry points of package
+// time; durations and constants remain fine.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+func (d detrand) Check(p *Package) []Finding {
+	var out []Finding
+	inScope := false
+	for _, s := range detrandScope {
+		if pathHasSuffix(p.Path, s) {
+			inScope = true
+			break
+		}
+	}
+	flag := func(n ast.Node) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		path, name, ok := qualifiedSelector(p, sel)
+		if !ok {
+			return
+		}
+		switch {
+		case path == "time" && bannedTimeFuncs[name]:
+			out = append(out, p.finding(d.Name(), sel.Pos(),
+				"time.%s is nondeterministic; campaign results must be a pure function of (seed, trial index)", name))
+		case path == "math/rand" || path == "math/rand/v2":
+			out = append(out, p.finding(d.Name(), sel.Pos(),
+				"global %s.%s breaks worker-count bit-identity; derive streams from rng.NewSub(seed, index)", path, name))
+		case path == "crypto/rand":
+			out = append(out, p.finding(d.Name(), sel.Pos(),
+				"crypto/rand.%s is irreproducible by design; derive streams from rng.NewSub(seed, index)", name))
+		}
+	}
+	for _, f := range p.Files {
+		if inScope {
+			ast.Inspect(f, func(n ast.Node) bool {
+				flag(n)
+				return true
+			})
+			continue
+		}
+		// Out-of-scope packages still may not smuggle nondeterminism
+		// into the engine through trial/fold/merge closures: inspect
+		// every func literal that flows into a call or composite
+		// literal belonging to the campaign package.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var lits []*ast.FuncLit
+			switch expr := n.(type) {
+			case *ast.CallExpr:
+				if path, _ := calleePkgPath(p, expr); !pathHasSuffix(path, "internal/campaign") {
+					return true
+				}
+				for _, arg := range expr.Args {
+					if fl, ok := arg.(*ast.FuncLit); ok {
+						lits = append(lits, fl)
+					}
+				}
+			case *ast.CompositeLit:
+				// campaign.Reducer{New: ..., Fold: ..., Merge: ...}
+				if !pathHasSuffix(typePkgPath(p.Info.TypeOf(expr)), "internal/campaign") {
+					return true
+				}
+				for _, el := range expr.Elts {
+					v := el
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if fl, ok := v.(*ast.FuncLit); ok {
+						lits = append(lits, fl)
+					}
+				}
+			default:
+				return true
+			}
+			for _, fl := range lits {
+				ast.Inspect(fl.Body, func(n ast.Node) bool {
+					flag(n)
+					return true
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// typePkgPath returns the defining package path of a (possibly pointer)
+// named type, or "" for unnamed and universe types.
+func typePkgPath(t types.Type) string {
+	for t != nil {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			if o := tt.Obj(); o != nil && o.Pkg() != nil {
+				return o.Pkg().Path()
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+	return ""
+}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// errdrop flags error returns that are silently discarded: a call whose
+// result tuple contains an error, used as a bare statement (or behind
+// go/defer) with no assignment. An explicit `_ = f()` is allowed — it
+// is greppable and visibly deliberate. Sinks that cannot fail, or whose
+// failure has no handler by design, are exempt:
+//
+//   - methods on strings.Builder / bytes.Buffer (documented to never
+//     return an error), and fmt.Fprint* writing into one of them — the
+//     only error fmt.Fprint* can return is the writer's;
+//   - the fmt.Print* stdout family and fmt.Fprint* to os.Stdout /
+//     os.Stderr, the CLI report/diagnostic path.
+//
+// fmt.Fprint* to any other writer (files, HTTP responses, pipes) is NOT
+// exempt: those fail in practice and the caller must see it.
+type errdrop struct{}
+
+func (errdrop) Name() string { return "errdrop" }
+func (errdrop) Doc() string {
+	return "no silently discarded error returns in non-test code"
+}
+
+// stdoutPrinters is the fmt stdout family tolerated in CLI report
+// paths.
+var stdoutPrinters = map[string]bool{"Print": true, "Printf": true, "Println": true}
+
+func (e errdrop) Check(p *Package) []Finding {
+	var out []Finding
+	flag := func(call *ast.CallExpr, how string) {
+		if !returnsError(p, call) || e.exempt(p, call) {
+			return
+		}
+		out = append(out, p.finding(e.Name(), call.Pos(),
+			"%s discards an error return; handle it or assign it explicitly (_ = …)", how))
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					flag(call, "call statement")
+				}
+			case *ast.GoStmt:
+				flag(stmt.Call, "go statement")
+			case *ast.DeferStmt:
+				flag(stmt.Call, "defer statement")
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// exempt reports calls whose dropped error is acceptable by policy.
+func (e errdrop) exempt(p *Package, call *ast.CallExpr) bool {
+	if path, name, ok := qualifiedCall(p, call); ok && path == "fmt" {
+		if stdoutPrinters[name] {
+			return true
+		}
+		if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+			return e.infallibleWriter(p, call.Args[0])
+		}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return isBuilderType(p.Info.TypeOf(sel.X))
+}
+
+// infallibleWriter reports whether a writer expression is one whose
+// Write cannot fail (in-memory builders) or whose failure has no
+// handler by policy (the process's own stdout/stderr).
+func (errdrop) infallibleWriter(p *Package, arg ast.Expr) bool {
+	if un, ok := arg.(*ast.UnaryExpr); ok && un.Op == token.AND {
+		arg = un.X
+	}
+	if sel, ok := arg.(*ast.SelectorExpr); ok {
+		if path, name, ok := qualifiedSelector(p, sel); ok && path == "os" && (name == "Stdout" || name == "Stderr") {
+			return true
+		}
+	}
+	return isBuilderType(p.Info.TypeOf(arg))
+}
+
+// isBuilderType matches strings.Builder / bytes.Buffer (possibly behind
+// a pointer).
+func isBuilderType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	switch typeFullName(t) {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// typeFullName renders a named type as "pkgpath.Name", or "".
+func typeFullName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}

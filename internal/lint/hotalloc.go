@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotalloc guards the allocation-free hot loops. Functions whose doc
+// comment carries //mclint:hotpath — the Classify/Capture/fold loops
+// already pinned by testing.AllocsPerRun — may not contain the source
+// patterns that allocate on every call:
+//
+//   - any call into package fmt (Sprintf and friends allocate their
+//     result and box every operand),
+//   - composite literals that escape: slice/map literals, and &T{…},
+//   - make/new (fresh heap state per call — scratch must come in from
+//     the caller),
+//   - append that can grow: appending to anything that is not an
+//     explicit reslice (buf[:0] style capacity reuse).
+//
+// The AllocsPerRun pins catch a regression at test time; this analyzer
+// names the exact line at review time.
+type hotalloc struct{}
+
+func (hotalloc) Name() string { return "hotalloc" }
+func (hotalloc) Doc() string {
+	return "//mclint:hotpath functions may not allocate (fmt, escaping literals, make/new, growing append)"
+}
+
+func (h hotalloc) Check(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasDirective(fn.Doc, "hotpath") {
+				continue
+			}
+			// Track composite literals already reported as part of an
+			// enclosing &T{…} so they are not flagged twice.
+			claimed := map[*ast.CompositeLit]bool{}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch expr := n.(type) {
+				case *ast.CallExpr:
+					if path, name, ok := qualifiedCall(p, expr); ok && path == "fmt" {
+						out = append(out, p.finding(h.Name(), expr.Pos(),
+							"fmt.%s allocates on a hot path; format outside the loop or return raw values", name))
+						return true
+					}
+					if id, ok := expr.Fun.(*ast.Ident); ok && p.Info.Uses[id] == types.Universe.Lookup(id.Name) {
+						switch id.Name {
+						case "make", "new":
+							out = append(out, p.finding(h.Name(), expr.Pos(),
+								"%s allocates per call on a hot path; take scratch from the caller", id.Name))
+						case "append":
+							if len(expr.Args) > 0 {
+								if _, resliced := expr.Args[0].(*ast.SliceExpr); !resliced {
+									out = append(out, p.finding(h.Name(), expr.Pos(),
+										"append may grow its backing array on a hot path; reuse capacity (buf[:0]) or preallocate in the caller"))
+								}
+							}
+						}
+					}
+				case *ast.UnaryExpr:
+					if cl, ok := expr.X.(*ast.CompositeLit); ok && expr.Op.String() == "&" {
+						claimed[cl] = true
+						out = append(out, p.finding(h.Name(), expr.Pos(),
+							"&composite literal escapes to the heap on a hot path"))
+					}
+				case *ast.CompositeLit:
+					if claimed[expr] {
+						return true
+					}
+					t := p.Info.TypeOf(expr)
+					if t == nil {
+						return true
+					}
+					switch t.Underlying().(type) {
+					case *types.Slice, *types.Map:
+						out = append(out, p.finding(h.Name(), expr.Pos(),
+							"slice/map literal allocates on a hot path; hoist it to a package var or caller scratch"))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

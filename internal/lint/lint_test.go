@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches expectation markers in the fixture sources:
+// `want:<analyzer>` expects a finding of that analyzer on the marker's
+// own line, and `want-below:<analyzer>` on the line directly after —
+// for lines whose trailing-comment space is taken by the very mclint
+// directive under audit.
+var wantRe = regexp.MustCompile(`want(-below)?:([a-z]+)`)
+
+// fixtureWants scans every .go file under root and returns the expected
+// finding multiset keyed "file:line:analyzer".
+func fixtureWants(t *testing.T, root string) map[string]int {
+	t.Helper()
+	want := map[string]int{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				target := i + 1 // lines are 1-based
+				if m[1] == "-below" {
+					target++
+				}
+				want[fmt.Sprintf("%s:%d:%s", path, target, m[2])]++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scanning fixture markers: %v", err)
+	}
+	return want
+}
+
+// TestAnalyzersOnFixtureModule runs the full driver — go list, parse,
+// type-check, analyze, suppress, audit — over the self-contained module
+// in testdata/fixture and compares the surviving findings against the
+// inline want markers. Every analyzer (and the directive audit) must
+// fire at least once, proving each rule is live.
+func TestAnalyzersOnFixtureModule(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "fixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading fixture module: %v", err)
+	}
+	findings := Run(pkgs, Analyzers())
+
+	got := map[string]int{}
+	fired := map[string]bool{}
+	for _, f := range findings {
+		got[fmt.Sprintf("%s:%d:%s", f.File, f.Line, f.Analyzer)]++
+		fired[f.Analyzer] = true
+	}
+	want := fixtureWants(t, root)
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("want %d finding(s) at %s, got %d", n, k, got[k])
+		}
+	}
+	for k, n := range got {
+		if want[k] != n {
+			t.Errorf("unexpected finding(s) at %s (%d)", k, n)
+		}
+	}
+	if t.Failed() {
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+	}
+	for _, a := range Analyzers() {
+		if !fired[a.Name()] {
+			t.Errorf("analyzer %s never fired on the fixture module", a.Name())
+		}
+	}
+	if !fired["directive"] {
+		t.Errorf("directive audit never fired on the fixture module")
+	}
+}
+
+// TestRepositoryIsLintClean runs the suite over the real repository and
+// asserts the zero-findings invariant that make lint enforces in CI.
+func TestRepositoryIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type check; skipped in -short runs")
+	}
+	pkgs, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	for _, f := range Run(pkgs, Analyzers()) {
+		t.Errorf("repository not lint-clean: %s", f)
+	}
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+}
+
+// LoadModule lists, parses, and type-checks every non-test package of
+// the module rooted at root, using only the standard library: the
+// package graph comes from `go list -json ./...`, in-module imports are
+// type-checked recursively from source, and out-of-module (standard
+// library) imports resolve through go/importer's source importer.
+// Test files are deliberately excluded — the contracts apply to library
+// and command code; tests may use wall clocks and background contexts.
+func LoadModule(root string) ([]*Package, error) {
+	cmd := exec.Command("go", "list", "-json", "./...")
+	cmd.Dir = root
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list -json ./... in %s: %v\n%s", root, err, stderr.String())
+	}
+	var listed []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		p := new(listPackage)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %v", err)
+		}
+		if len(p.GoFiles) > 0 {
+			listed = append(listed, p)
+		}
+	}
+	sort.Slice(listed, func(i, j int) bool { return listed[i].ImportPath < listed[j].ImportPath })
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil),
+		byPath: map[string]*listPackage{},
+		done:   map[string]*Package{},
+	}
+	for _, p := range listed {
+		ld.byPath[p.ImportPath] = p
+	}
+	var pkgs []*Package
+	for _, p := range listed {
+		cp, err := ld.check(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, cp)
+	}
+	return pkgs, nil
+}
+
+// loader type-checks module packages in dependency order, memoising
+// results so shared imports are checked once.
+type loader struct {
+	fset   *token.FileSet
+	std    types.Importer
+	byPath map[string]*listPackage
+	done   map[string]*Package
+}
+
+// Import implements types.Importer over the module graph with a
+// standard-library fallback.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if mp, ok := ld.byPath[path]; ok {
+		cp, err := ld.check(mp)
+		if err != nil {
+			return nil, err
+		}
+		return cp.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+// check parses and type-checks one listed package (memoised).
+func (ld *loader) check(p *listPackage) (*Package, error) {
+	if cp, ok := ld.done[p.ImportPath]; ok {
+		return cp, nil
+	}
+	files := make([]*ast.File, 0, len(p.GoFiles))
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: ld}
+	tp, err := conf.Check(p.ImportPath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %v", p.ImportPath, err)
+	}
+	cp := &Package{
+		Path:  p.ImportPath,
+		Dir:   p.Dir,
+		Fset:  ld.fset,
+		Files: files,
+		Types: tp,
+		Info:  info,
+	}
+	cp.scanDirectives()
+	ld.done[p.ImportPath] = cp
+	return cp, nil
+}

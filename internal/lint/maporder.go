@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// maporder enforces iteration-order determinism: a `for range` over a
+// map runs in a different order on every execution, so any map loop
+// whose effects feed an accumulator, a signature, or serialized output
+// silently breaks bit-identity. The analyzer flags every map-range
+// loop in non-test code unless
+//
+//   - the loop is the collect-then-sort idiom — its body only appends
+//     keys/values (possibly behind a filter condition) to a slice that
+//     a later sort.* call in the same function orders — or
+//   - the loop carries a justified //mclint:maporder directive stating
+//     why order cannot leak into results.
+type maporder struct{}
+
+func (maporder) Name() string { return "maporder" }
+func (maporder) Doc() string {
+	return "no unordered map iteration outside the collect-then-sort idiom"
+}
+
+func (m maporder) Check(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := p.Info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if m.collectThenSort(p, fn, rs) {
+					return true
+				}
+				out = append(out, p.finding(m.Name(), rs.Pos(),
+					"map iteration order is nondeterministic; collect and sort keys first, or justify with //mclint:maporder"))
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// collectThenSort recognises the sanctioned idiom: the loop body is a
+// single `s = append(s, …)` — optionally wrapped in a filter `if` with
+// no else — and a statement after the loop (in the same function)
+// passes s to a sort.* call.
+func (m maporder) collectThenSort(p *Package, fn *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	stmt := rs.Body.List[0]
+	if ifStmt, ok := stmt.(*ast.IfStmt); ok && ifStmt.Else == nil && len(ifStmt.Body.List) == 1 {
+		stmt = ifStmt.Body.List[0]
+	}
+	asg, ok := stmt.(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "append" || len(call.Args) < 2 {
+		return false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	if !ok || first.Name != lhs.Name {
+		return false
+	}
+	slice := p.Info.Uses[lhs]
+	if slice == nil {
+		slice = p.Info.Defs[lhs]
+	}
+	if slice == nil {
+		return false
+	}
+	// Look for sort.X(… slice …) after the loop anywhere in the function.
+	sorted := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if path, _, ok := qualifiedCall(p, call); !ok || path != "sort" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && p.Info.Uses[id] == slice {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,20 @@
+// The fixture module's one binary: package main may mint the root
+// context that ctxflow bans everywhere else.
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"fixture/internal/report"
+)
+
+func main() {
+	ctx := context.Background() // no finding: root contexts belong to main
+	vs, err := report.Gather(ctx, 3)
+	if err != nil {
+		fmt.Println("gather:", err)
+		return
+	}
+	fmt.Println(vs)
+}

@@ -1,0 +1,48 @@
+// Package agg carries the maporder fixtures: map iteration feeding an
+// accumulator, the sanctioned collect-then-sort idiom, and the
+// justified-directive escape hatch.
+package agg
+
+import "sort"
+
+// Total folds map values in iteration order into an accumulator the
+// analyzer cannot prove commutative.
+func Total(m map[string]float64) float64 {
+	var t float64
+	for _, v := range m { // want:maporder
+		t += v
+	}
+	return t
+}
+
+// Keys is the sanctioned collect-then-sort idiom.
+func Keys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Positive collects behind a filter, which the idiom also covers.
+func Positive(m map[string]float64) []string {
+	var ks []string
+	for k, v := range m {
+		if v > 0 {
+			ks = append(ks, k)
+		}
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Count is order-independent and says so.
+func Count(m map[string]float64) int {
+	n := 0
+	//mclint:maporder pure element count; no per-key state leaves the loop
+	for range m {
+		n++
+	}
+	return n
+}

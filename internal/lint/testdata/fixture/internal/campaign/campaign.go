@@ -1,0 +1,54 @@
+// Package campaign is a miniature stand-in for the real reduction
+// engine: just enough surface (Engine, Reducer, Run, Reduce) for the
+// fixture packages to exercise mclint's closure and cancellation rules.
+// Its import path ends in internal/campaign, which is what puts it — and
+// every closure handed to it — inside analyzer scope.
+package campaign
+
+import "context"
+
+// Engine mirrors the real engine's option struct.
+type Engine struct {
+	Workers int
+	Seed    uint64
+}
+
+// Reducer mirrors the real fold/merge triple.
+type Reducer[T, A any] struct {
+	New   func() A
+	Fold  func(acc A, i int, v T) A
+	Merge func(into, next A) A
+}
+
+// Run executes trial serially and collects the results. The fixtures
+// only need it to type-check, never to run fast.
+func Run(ctx context.Context, eng Engine, n int, trial func(i int) (int, error)) ([]int, error) {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		v, err := trial(i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Reduce folds trial results into the reducer's accumulator.
+func Reduce[T, A any](ctx context.Context, eng Engine, n int, r Reducer[T, A], trial func(i int) (T, error)) (A, error) {
+	acc := r.New()
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return acc, err
+		}
+		v, err := trial(i)
+		if err != nil {
+			return acc, err
+		}
+		acc = r.Fold(acc, i, v)
+	}
+	return acc, nil
+}

@@ -1,0 +1,31 @@
+// Package core carries the in-scope detrand fixtures: its import path
+// ends in internal/core, so every statement is checked, not just the
+// closures handed to the engine.
+package core
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock inside an engine package.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want:detrand
+}
+
+// Jitter draws from the global math/rand stream.
+func Jitter() float64 {
+	return rand.Float64() // want:detrand
+}
+
+// Fill draws irreproducible bytes.
+func Fill(b []byte) {
+	_, _ = crand.Read(b) // want:detrand
+}
+
+// Backoff only names a time constant, which is fine: the contract bans
+// reading the clock, not talking about durations.
+func Backoff() time.Duration {
+	return 3 * time.Second
+}

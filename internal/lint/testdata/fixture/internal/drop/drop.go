@@ -1,0 +1,49 @@
+// Package drop carries the errdrop fixtures: discarded errors in every
+// statement position, the infallible-sink exemptions, the explicit
+// discard, the justified suppression, and the directive-audit cases.
+package drop
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Flush drops errors in every statement position the analyzer checks.
+func Flush(f *os.File) {
+	f.Sync()        // want:errdrop
+	go f.Sync()     // want:errdrop
+	defer f.Close() // want:errdrop
+}
+
+// Report writes through sinks whose failure cannot or need not be
+// handled, and discards one error explicitly — none of it is flagged.
+func Report(f *os.File) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n=%d", 1)
+	sb.WriteString("!")
+	fmt.Println("done")
+	fmt.Fprintln(os.Stderr, "warn")
+	_ = f.Close()
+	return sb.String()
+}
+
+// BestEffort drops an error the package has judged and documented.
+func BestEffort(f *os.File) {
+	//mclint:errdrop fixture: close on a read-only handle; nothing to recover
+	f.Close()
+}
+
+// Mute shows a bare suppression: it does not silence the finding and is
+// itself flagged by the directive audit.
+func Mute(f *os.File) {
+	// want-below:directive want-below:errdrop
+	f.Close() //mclint:errdrop
+}
+
+// Shiny shows a directive naming an analyzer that does not exist.
+func Shiny(f *os.File) {
+	// want-below:directive
+	//mclint:shiny the analyzer does not exist
+	_ = f.Close()
+}

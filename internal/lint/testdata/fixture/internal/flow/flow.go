@@ -1,0 +1,20 @@
+// Package flow carries the context-discipline fixtures: root contexts
+// minted in library code, and the compliant derive-from-caller shape.
+package flow
+
+import "context"
+
+// Detached mints a root context in library code.
+func Detached() context.Context {
+	return context.Background() // want:ctxflow
+}
+
+// Stalled parks work on a context no caller can cancel.
+func Stalled() error {
+	return context.TODO().Err() // want:ctxflow
+}
+
+// Plumbed derives from the caller's context, as library code must.
+func Plumbed(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}

@@ -1,0 +1,44 @@
+// Package hot carries the hotalloc fixtures: a //mclint:hotpath function
+// hitting every allocation pattern the analyzer names, and the compliant
+// scratch-reusing shapes.
+package hot
+
+import "fmt"
+
+type point struct{ x, y float64 }
+
+// Render allocates in every way the analyzer flags.
+//
+//mclint:hotpath
+func Render(xs []float64) string {
+	label := fmt.Sprintf("%d pts", len(xs)) // want:hotalloc
+	buf := make([]float64, len(xs))         // want:hotalloc
+	buf = append(buf, 1)                    // want:hotalloc
+	p := &point{x: buf[0]}                  // want:hotalloc
+	ws := []float64{p.x}                    // want:hotalloc
+	return label + fmt.Sprint(ws[0])        // want:hotalloc
+}
+
+// Dot is the compliant hot loop: no allocation sites at all.
+//
+//mclint:hotpath
+func Dot(xs, ys []float64) float64 {
+	s := 0.0
+	for i := range xs {
+		s += xs[i] * ys[i]
+	}
+	return s
+}
+
+// Reuse refills caller scratch without growing it: the explicit reslice
+// is the one append shape the analyzer trusts.
+//
+//mclint:hotpath
+func Reuse(xs, scratch []float64) []float64 {
+	return append(scratch[:0], xs...)
+}
+
+// Sketch is not marked hotpath, so it may allocate.
+func Sketch(n int) []float64 {
+	return make([]float64, n)
+}

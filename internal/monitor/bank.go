@@ -88,6 +88,8 @@ func (b *Bank) Size() int { return len(b.monitors) }
 func (b *Bank) Monitors() []Monitor { return b.monitors }
 
 // Classify returns the zone code at (x, y).
+//
+//mclint:hotpath
 func (b *Bank) Classify(x, y float64) Code {
 	var c Code
 	for i, m := range b.monitors {
@@ -154,6 +156,7 @@ func (b *Bank) Perturbed(die *mos.Die) *Bank {
 // result slots, and a result that is bit-identical regardless of
 // scheduling or worker count.
 func (b *Bank) MCEnvelope(mi int, variation mos.Variation, seed uint64, nDies, nCols int) (xs []float64, ys [][]float64) {
+	//mclint:ctxflow ctx-less legacy wrapper; MCEnvelopeCtx carries caller cancellation for everything else
 	xs, ys, err := b.MCEnvelopeCtx(context.Background(), mi, variation, seed, nDies, nCols, campaign.Engine{})
 	if err != nil {
 		panic(err) // a background context never cancels; trials are error-free

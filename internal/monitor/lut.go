@@ -178,6 +178,8 @@ func (b *Bank) lut() *zoneLUT {
 //
 // The three slices must have equal length. After the one-time LUT
 // construction the call performs no allocations.
+//
+//mclint:hotpath
 func (b *Bank) ClassifyBatch(xs, ys []float64, codes []Code) {
 	if len(xs) != len(ys) || len(codes) != len(xs) {
 		panic("monitor: ClassifyBatch needs equal-length xs, ys and codes")

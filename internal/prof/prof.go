@@ -58,7 +58,7 @@ func (p *Profiler) Start() error {
 		return fmt.Errorf("prof: %w", err)
 	}
 	if err := pprof.StartCPUProfile(f); err != nil {
-		f.Close()
+		_ = f.Close() // the pprof failure is the error worth reporting
 		return fmt.Errorf("prof: %w", err)
 	}
 	p.cpuFile = f
@@ -82,9 +82,14 @@ func (p *Profiler) Stop() error {
 		if err != nil {
 			return fmt.Errorf("prof: %w", err)
 		}
-		defer f.Close()
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("prof: %w", err)
+		}
+		// Close errors matter here: they are the last chance to learn the
+		// profile never reached the disk.
+		if err := f.Close(); err != nil {
 			return fmt.Errorf("prof: %w", err)
 		}
 	}

@@ -106,7 +106,7 @@ type Server struct {
 // so cancelling it — or calling Close — aborts every campaign in flight.
 func New(ctx context.Context) *Server {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //mclint:ctxflow nil-ctx guard at construction; callers pass the process root ctx and Close cancels every job
 	}
 	base, stop := context.WithCancel(ctx)
 	return &Server{jobs: map[string]*job{}, baseCtx: base, stop: stop}
@@ -309,7 +309,9 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, id string)
 		}
 		if string(frame) != last {
 			last = string(frame)
-			fmt.Fprintf(w, "data: %s\n\n", frame)
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", frame); err != nil {
+				return false // client hung up; stop streaming
+			}
 			flusher.Flush()
 		}
 		return st.State == StateRunning

@@ -113,6 +113,8 @@ func (b *CaptureBuffer) Codes(n int) []monitor.Code {
 // discard the signature before the next trial, which is exactly that
 // contract. Either way the result is bit-identical to
 // Capture(...).Canonical().
+//
+//mclint:hotpath
 func CaptureCanonical(classify Classifier, T float64, cfg CaptureConfig, buf *CaptureBuffer) (*Signature, error) {
 	raw, err := captureRaw(classify, T, cfg, buf)
 	if err != nil {
@@ -128,12 +130,15 @@ func CaptureCanonical(classify Classifier, T float64, cfg CaptureConfig, buf *Ca
 // CaptureCanonical; codes may alias buf.Codes. The result is
 // bit-identical to the scalar CaptureCanonical fed a classifier that
 // returns the same per-tick codes.
+//
+//mclint:hotpath
 func CaptureCanonicalCodes(codes []monitor.Code, T float64, cfg CaptureConfig, buf *CaptureBuffer) (*Signature, error) {
 	n, err := cfg.Ticks(T)
 	if err != nil {
 		return nil, err
 	}
 	if len(codes) != n {
+		//mclint:hotalloc cold misuse path; runs once per bad call, never in the trial loop
 		return nil, fmt.Errorf("signature: got %d tick codes, capture needs %d", len(codes), n)
 	}
 	raw, err := walkIntoBuf(codes, T, cfg, buf)
@@ -167,6 +172,8 @@ func walkIntoBuf(codes []monitor.Code, T float64, cfg CaptureConfig, buf *Captur
 // is invoked in tick order (k = 0 … n−1), so stateful classifiers (the
 // measurement-noise path) draw exactly as they did when the acquisition
 // loop was fused.
+//
+//mclint:hotpath
 func captureRaw(classify Classifier, T float64, cfg CaptureConfig, buf *CaptureBuffer) ([]Entry, error) {
 	n, err := cfg.Ticks(T)
 	if err != nil {
@@ -176,6 +183,7 @@ func captureRaw(classify Classifier, T float64, cfg CaptureConfig, buf *CaptureB
 	if buf != nil {
 		codes = buf.Codes(n)
 	} else {
+		//mclint:hotalloc nil-buf convenience path; the steady-state trial loop always passes a CaptureBuffer
 		codes = make([]monitor.Code, n)
 	}
 	tick := 1 / cfg.ClockHz

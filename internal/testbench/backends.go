@@ -32,7 +32,7 @@ type BackendAgreement struct {
 // It is a thin wrapper over the campaign registry ("backends", which
 // builds both systems itself and ignores the spec backend).
 func RunBackendAgreement(shifts []float64) (*BackendAgreement, error) {
-	return runAs[BackendAgreement](context.Background(), Spec{
+	return runAs[BackendAgreement](legacyCtx(), Spec{
 		Campaign: "backends",
 		Params:   BackendsParams{Shifts: shifts},
 	})

@@ -25,7 +25,7 @@ type CornerDrift struct {
 // RunCornerDrift evaluates all five corners. It is a thin wrapper over
 // the campaign registry ("corners").
 func RunCornerDrift(sys *core.System) (*CornerDrift, error) {
-	return runAs[CornerDrift](context.Background(), Spec{Campaign: "corners"}, WithSystem(sys))
+	return runAs[CornerDrift](legacyCtx(), Spec{Campaign: "corners"}, WithSystem(sys))
 }
 
 // runCornerDrift is the registry implementation behind RunCornerDrift.

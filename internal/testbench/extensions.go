@@ -26,7 +26,7 @@ type ExtQ struct {
 // RunExtQ sweeps fractional Q deviations. It is a thin wrapper over the
 // campaign registry ("q").
 func RunExtQ(sys *core.System, devs []float64) (*ExtQ, error) {
-	return runAs[ExtQ](context.Background(), Spec{
+	return runAs[ExtQ](legacyCtx(), Spec{
 		Campaign: "q",
 		Params:   QParams{Devs: devs},
 	}, WithSystem(sys))
@@ -118,7 +118,7 @@ func DefaultFaultSet() []biquad.Fault {
 // independent, fan out across the campaign pool at any worker bound, and
 // the table rows stay in fault order.
 func RunFaultTable(sys *core.System, dec ndf.Decision, faults []biquad.Fault) (*FaultTable, error) {
-	return runAs[FaultTable](context.Background(), Spec{
+	return runAs[FaultTable](legacyCtx(), Spec{
 		Campaign: "faults",
 		Params:   FaultsParams{Threshold: &dec.Threshold, Faults: faults},
 	}, WithSystem(sys))

@@ -28,7 +28,7 @@ type Fig4MC struct {
 // campaign registry ("fig4mc"); spec-driven runs choose the worker bound
 // and get the bit-identical envelope at any count.
 func RunFig4MC(mi int, nDies, nCols int, seed uint64) (*Fig4MC, error) {
-	return runAs[Fig4MC](context.Background(), Spec{
+	return runAs[Fig4MC](legacyCtx(), Spec{
 		Campaign: "fig4mc",
 		Seed:     seed,
 		Params:   Fig4MCParams{Monitor: mi, Dies: nDies, Cols: nCols},

@@ -1,7 +1,6 @@
 package testbench
 
 import (
-	"context"
 	"fmt"
 	"strings"
 
@@ -27,7 +26,7 @@ type Fig6 struct {
 // traversal sequences. It is a thin wrapper over the campaign registry
 // ("fig6").
 func RunFig6(sys *core.System, shift float64, gridN int) (*Fig6, error) {
-	return runAs[Fig6](context.Background(), Spec{
+	return runAs[Fig6](legacyCtx(), Spec{
 		Campaign: "fig6",
 		Params:   Fig6Params{Shift: shift, Grid: gridN},
 	}, WithSystem(sys))
@@ -94,7 +93,7 @@ type Fig7 struct {
 // RunFig7 samples both chronograms at n points. It is a thin wrapper
 // over the campaign registry ("fig7").
 func RunFig7(sys *core.System, shift float64, n int) (*Fig7, error) {
-	return runAs[Fig7](context.Background(), Spec{
+	return runAs[Fig7](legacyCtx(), Spec{
 		Campaign: "fig7",
 		Params:   Fig7Params{Shift: shift, Points: n},
 	}, WithSystem(sys))

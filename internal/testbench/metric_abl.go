@@ -24,7 +24,7 @@ type AblMetric struct {
 // RunAblMetric sweeps both metrics over the f0 deviation grid. It is a
 // thin wrapper over the campaign registry ("metric").
 func RunAblMetric(sys *core.System, devs []float64) (*AblMetric, error) {
-	return runAs[AblMetric](context.Background(), Spec{
+	return runAs[AblMetric](legacyCtx(), Spec{
 		Campaign: "metric",
 		Params:   MetricParams{Devs: devs},
 	}, WithSystem(sys))

@@ -36,7 +36,7 @@ type Noise struct {
 // detection rates are bit-identical at any worker count. It is a thin
 // wrapper over the campaign registry ("noise").
 func RunNoiseDetection(sys *core.System, sigma float64, devs []float64, nullTrials, trials int, seed uint64) (*Noise, error) {
-	return runAs[Noise](context.Background(), Spec{
+	return runAs[Noise](legacyCtx(), Spec{
 		Campaign: "noise",
 		Seed:     seed,
 		Params:   NoiseParams{Sigma: sigma, Devs: devs, NullTrials: nullTrials, Trials: trials},
@@ -165,7 +165,7 @@ type AblLinear struct {
 // RunAblLinear sweeps both banks over the deviation grid. It is a thin
 // wrapper over the campaign registry ("linear").
 func RunAblLinear(sys *core.System, devs []float64) (*AblLinear, error) {
-	return runAs[AblLinear](context.Background(), Spec{
+	return runAs[AblLinear](legacyCtx(), Spec{
 		Campaign: "linear",
 		Params:   LinearParams{Devs: devs},
 	}, WithSystem(sys))
@@ -224,7 +224,7 @@ type AblCounter struct {
 // RunAblCounter runs the ablation at one deviation. It is a thin wrapper
 // over the campaign registry ("counter").
 func RunAblCounter(sys *core.System, shift float64, bits []int, clocks []float64) (*AblCounter, error) {
-	return runAs[AblCounter](context.Background(), Spec{
+	return runAs[AblCounter](legacyCtx(), Spec{
 		Campaign: "counter",
 		Params:   CounterParams{Shift: shift, Bits: bits, Clocks: clocks},
 	}, WithSystem(sys))
@@ -307,7 +307,7 @@ type AblRegression struct {
 // RunAblRegression trains on trainDevs and evaluates on testDevs. It is
 // a thin wrapper over the campaign registry ("regress").
 func RunAblRegression(sys *core.System, trainDevs, testDevs []float64) (*AblRegression, error) {
-	return runAs[AblRegression](context.Background(), Spec{
+	return runAs[AblRegression](legacyCtx(), Spec{
 		Campaign: "regress",
 		Params:   RegressParams{TrainDevs: trainDevs, TestDevs: testDevs},
 	}, WithSystem(sys))

@@ -26,7 +26,7 @@ type NoiseSweep struct {
 // derives its stream in-worker as a pure function of the seed, so the
 // sweep is bit-identical at any worker count.
 func RunNoiseSweep(sys *core.System, sigmas, devGrid []float64, trials int, seed uint64) (*NoiseSweep, error) {
-	return runAs[NoiseSweep](context.Background(), Spec{
+	return runAs[NoiseSweep](legacyCtx(), Spec{
 		Campaign: "noisesweep",
 		Seed:     seed,
 		Params:   NoiseSweepParams{Sigmas: sigmas, DevGrid: devGrid, Trials: trials},

@@ -10,13 +10,27 @@ import (
 	"repro/internal/zone"
 )
 
+// reportPrinter latches the first write error so every report line can
+// print without per-call error plumbing; WriteReport returns the latched
+// error, so a truncated report (full disk, closed pipe) is never
+// silently reported as success.
+type reportPrinter struct {
+	w   io.Writer
+	err error
+}
+
+func (rp *reportPrinter) printf(format string, args ...any) {
+	if rp.err == nil {
+		_, rp.err = fmt.Fprintf(rp.w, format, args...)
+	}
+}
+
 // WriteReport runs the complete experiment suite against sys and writes
 // the paper-vs-measured summary (the data behind EXPERIMENTS.md) to w.
 // All experiments are deterministic; runtime is a few seconds.
 func WriteReport(w io.Writer, sys *core.System) error {
-
-	fmt.Fprintln(w, "=== Reproduction report: Analog Circuit Test Based on a Digital Signature (DATE 2010) ===")
-	fmt.Fprintln(w)
+	rp := &reportPrinter{w: w}
+	rp.printf("=== Reproduction report: Analog Circuit Test Based on a Digital Signature (DATE 2010) ===\n\n")
 
 	// Fig. 1
 	f1, err := RunFig1(sys, 0.10, 512)
@@ -30,7 +44,7 @@ func WriteReport(w io.Writer, sys *core.System) error {
 			worst = d
 		}
 	}
-	fmt.Fprintf(w, "FIG1  Lissajous +10%% f0: max pointwise deviation %.4f V (visible, bounded)\n", worst)
+	rp.printf("FIG1  Lissajous +10%% f0: max pointwise deviation %.4f V (visible, bounded)\n", worst)
 
 	// Table I / Fig. 4
 	f4, err := RunFig4(41)
@@ -41,13 +55,13 @@ func WriteReport(w io.Writer, sys *core.System) error {
 	for _, c := range f4.Curves {
 		tot += len(c)
 	}
-	fmt.Fprintf(w, "TAB1  six monitor configurations valid; FIG4 traced %d boundary points across 6 curves\n", tot)
+	rp.printf("TAB1  six monitor configurations valid; FIG4 traced %d boundary points across 6 curves\n", tot)
 
 	env, err := RunFig4MC(2, 200, 21, 7)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "FIG4  Monte Carlo: nominal boundary inside 95%% envelope at %.0f%% of columns (paper: measured in MC range)\n",
+	rp.printf("FIG4  Monte Carlo: nominal boundary inside 95%% envelope at %.0f%% of columns (paper: measured in MC range)\n",
 		100*env.NominalInsideEnvelope())
 
 	// Fig. 6
@@ -55,7 +69,7 @@ func WriteReport(w io.Writer, sys *core.System) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "FIG6  partition: %d zones (paper labels 16), %d Gray violations at boundary intersections\n",
+	rp.printf("FIG6  partition: %d zones (paper labels 16), %d Gray violations at boundary intersections\n",
 		zm.NumZones(), len(zm.GrayViolations()))
 
 	// Fig. 7
@@ -69,14 +83,14 @@ func WriteReport(w io.Writer, sys *core.System) error {
 			maxH = h
 		}
 	}
-	fmt.Fprintf(w, "FIG7  NDF(+10%%) = %.4f (paper: 0.1021); max Hamming distance %d (paper: 2)\n", f7.NDF, maxH)
+	rp.printf("FIG7  NDF(+10%%) = %.4f (paper: 0.1021); max Hamming distance %d (paper: 2)\n", f7.NDF, maxH)
 
 	// Fig. 8
 	f8, err := RunFig8(sys, 0.20, 17, 0.05)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "FIG8  NDF sweep ±20%%: NDF(-20%%)=%.3f NDF(+20%%)=%.3f threshold(±5%%)=%.4f\n",
+	rp.printf("FIG8  NDF sweep ±20%%: NDF(-20%%)=%.3f NDF(+20%%)=%.3f threshold(±5%%)=%.4f\n",
 		f8.NDFs[0], f8.NDFs[len(f8.NDFs)-1], f8.Threshold)
 
 	// Noise
@@ -84,7 +98,7 @@ func WriteReport(w io.Writer, sys *core.System) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "NOISE 3σ=0.015 V: detect 0.5%%:%.2f  1%%:%.2f  2%%:%.2f  (false-alarm %.2f; paper: 1%% detectable)\n",
+	rp.printf("NOISE 3σ=0.015 V: detect 0.5%%:%.2f  1%%:%.2f  2%%:%.2f  (false-alarm %.2f; paper: 1%% detectable)\n",
 		nd.Detect[0], nd.Detect[1], nd.Detect[2], nd.FalseRate)
 
 	// Ablations
@@ -92,7 +106,7 @@ func WriteReport(w io.Writer, sys *core.System) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "ABL   linear zoning: area ratio %.2fx, NDF(+10%%) linear %.3f vs nonlinear %.3f\n",
+	rp.printf("ABL   linear zoning: area ratio %.2fx, NDF(+10%%) linear %.3f vs nonlinear %.3f\n",
 		al.LinearUm2/al.NonlinearUm2, al.LinearNDF[1], al.NonlinearNDF[1])
 
 	ac, err := RunAblCounter(sys, 0.10, []int{8, 12, 16}, []float64{1e6, 10e6, 100e6})
@@ -107,7 +121,7 @@ func WriteReport(w io.Writer, sys *core.System) error {
 			}
 		}
 	}
-	fmt.Fprintf(w, "ABL   capture quantization: worst |ΔNDF| %.4f across {8,12,16}b x {1,10,100}MHz\n", worstQ)
+	rp.printf("ABL   capture quantization: worst |ΔNDF| %.4f across {8,12,16}b x {1,10,100}MHz\n", worstQ)
 
 	ar, err := RunAblRegression(sys,
 		[]float64{-0.20, -0.15, -0.10, -0.06, -0.03, 0, 0.03, 0.06, 0.10, 0.15, 0.20},
@@ -115,14 +129,14 @@ func WriteReport(w io.Writer, sys *core.System) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "ABL   alternate-test regression: held-out RMSE %.5f (fractional f0)\n", ar.TestRMSE)
+	rp.printf("ABL   alternate-test regression: held-out RMSE %.5f (fractional f0)\n", ar.TestRMSE)
 
 	// Extensions
 	eq, err := RunExtQ(sys, []float64{0.20})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "EXT   Q+20%%: NDF LP-observed %.4f, BP-observed %.4f\n", eq.LPNDF[0], eq.BPNDF[0])
+	rp.printf("EXT   Q+20%%: NDF LP-observed %.4f, BP-observed %.4f\n", eq.LPNDF[0], eq.BPNDF[0])
 
 	dec, err := sys.CalibrateFromTolerance(0.05, 9)
 	if err != nil {
@@ -132,12 +146,12 @@ func WriteReport(w io.Writer, sys *core.System) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "EXT   component fault campaign: %.0f%% coverage (%d faults)\n",
+	rp.printf("EXT   component fault campaign: %.0f%% coverage (%d faults)\n",
 		100*ft.Coverage(), len(ft.Cases))
 
 	// Area
 	est := monitor.EstimateArea(monitor.TableI()[0])
-	fmt.Fprintf(w, "AREA  monitor core %.2f um2, total %.2f um2 (published 53.54 / 116.1)\n",
+	rp.printf("AREA  monitor core %.2f um2, total %.2f um2 (published 53.54 / 116.1)\n",
 		est.CoreUm2, est.TotalUm2)
-	return nil
+	return rp.err
 }

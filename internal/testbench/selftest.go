@@ -26,7 +26,7 @@ type SelfTest struct {
 // RunSelfTest evaluates all stuck-at faults against the decision. It is
 // a thin wrapper over the campaign registry ("selftest").
 func RunSelfTest(sys *core.System, dec ndf.Decision) (*SelfTest, error) {
-	return runAs[SelfTest](context.Background(), Spec{
+	return runAs[SelfTest](legacyCtx(), Spec{
 		Campaign: "selftest",
 		Params:   SelfTestParams{Threshold: &dec.Threshold},
 	}, WithSystem(sys))

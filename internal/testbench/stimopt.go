@@ -28,7 +28,7 @@ type StimOpt struct {
 // over a gridN×gridN grid in [0, 2π). It is a thin wrapper over the
 // campaign registry ("stimopt").
 func RunStimOpt(sys *core.System, shift float64, gridN int) (*StimOpt, error) {
-	return runAs[StimOpt](context.Background(), Spec{
+	return runAs[StimOpt](legacyCtx(), Spec{
 		Campaign: "stimopt",
 		Params:   StimOptParams{Shift: shift, Grid: gridN},
 	}, WithSystem(sys))

@@ -32,7 +32,7 @@ type TempDrift struct {
 // with the monitor bank operated at each temperature. It is a thin
 // wrapper over the campaign registry ("temp").
 func RunTempDrift(sys *core.System, tempsK []float64) (*TempDrift, error) {
-	return runAs[TempDrift](context.Background(), Spec{
+	return runAs[TempDrift](legacyCtx(), Spec{
 		Campaign: "temp",
 		Params:   TempParams{TempsK: tempsK},
 	}, WithSystem(sys))
@@ -119,7 +119,7 @@ type AblSpectral struct {
 // RunAblSpectral runs both regressions. It is a thin wrapper over the
 // campaign registry ("spectral").
 func RunAblSpectral(sys *core.System, trainDevs, testDevs []float64) (*AblSpectral, error) {
-	return runAs[AblSpectral](context.Background(), Spec{
+	return runAs[AblSpectral](legacyCtx(), Spec{
 		Campaign: "spectral",
 		Params:   SpectralParams{TrainDevs: trainDevs, TestDevs: testDevs},
 	}, WithSystem(sys))

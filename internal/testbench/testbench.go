@@ -27,7 +27,7 @@ type Fig1 struct {
 // RunFig1 samples both curves with n points per period. It is a thin
 // wrapper over the campaign registry ("fig1").
 func RunFig1(sys *core.System, shift float64, n int) (*Fig1, error) {
-	return runAs[Fig1](context.Background(), Spec{
+	return runAs[Fig1](legacyCtx(), Spec{
 		Campaign: "fig1",
 		Params:   Fig1Params{Shift: shift, Points: n},
 	}, WithSystem(sys))
@@ -113,7 +113,7 @@ type Fig4 struct {
 // RunFig4 traces every Table I boundary at the given resolution. It is a
 // thin wrapper over the campaign registry ("fig4").
 func RunFig4(n int) (*Fig4, error) {
-	return runAs[Fig4](context.Background(), Spec{
+	return runAs[Fig4](legacyCtx(), Spec{
 		Campaign: "fig4",
 		Params:   Fig4Params{Points: n},
 	})
@@ -155,7 +155,7 @@ func (f *Fig4) CSV() string {
 // Columns without a bit transition are skipped. It is a thin wrapper over
 // the campaign registry ("fig4spice").
 func RunFig4Spice(nCols int) (*Fig4, error) {
-	return runAs[Fig4](context.Background(), Spec{
+	return runAs[Fig4](legacyCtx(), Spec{
 		Campaign: "fig4spice",
 		Params:   Fig4SpiceParams{Cols: nCols},
 	})
@@ -202,7 +202,7 @@ type Fig8 struct {
 // tolerance edges. It is a thin wrapper over the campaign registry
 // ("fig8").
 func RunFig8(sys *core.System, maxDev float64, points int, tol float64) (*Fig8, error) {
-	return runAs[Fig8](context.Background(), Spec{
+	return runAs[Fig8](legacyCtx(), Spec{
 		Campaign: "fig8",
 		Params:   Fig8Params{MaxDev: maxDev, Points: points, Tol: tol},
 	}, WithSystem(sys))

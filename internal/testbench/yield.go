@@ -46,7 +46,7 @@ type Yield struct {
 // multi-parameter in-spec drift and shows up as overkill; corner
 // calibration is how a production deployment sets the band.
 func CalibrateMultiParam(sys *core.System, tol float64) (ndf.Decision, error) {
-	return calibrateMultiParam(context.Background(), sys, tol)
+	return calibrateMultiParam(legacyCtx(), sys, tol)
 }
 
 // calibrateMultiParam is CalibrateMultiParam with corner-granular
@@ -83,7 +83,7 @@ func calibrateMultiParam(ctx context.Context, sys *core.System, tol float64) (nd
 // chunk) whatever n is, and the scores are bit-identical at any worker
 // count.
 func RunYield(sys *core.System, dec ndf.Decision, n int, componentSigma, tol float64, seed uint64) (*Yield, error) {
-	return runAs[Yield](context.Background(), Spec{
+	return runAs[Yield](legacyCtx(), Spec{
 		Campaign: "yield",
 		Seed:     seed,
 		Params:   YieldParams{N: n, ComponentSigma: componentSigma, Tol: tol, Threshold: &dec.Threshold},

@@ -19,6 +19,8 @@ type BatchEvaluator interface {
 // EvalBatch when available and a scalar loop otherwise. The results are
 // bit-identical to calling w.Eval(ts[i]) for each i in order. It panics
 // when the buffer lengths differ.
+//
+//mclint:hotpath
 func EvalInto(w Waveform, ts, out []float64) {
 	if len(ts) != len(out) {
 		panic("wave: EvalInto needs len(ts) == len(out)")

@@ -83,6 +83,7 @@ func Build(b *monitor.Bank, lo, hi float64, n int) (*Map, error) {
 			z.RepY += y
 		}
 	}
+	//mclint:maporder independent per-zone normalization; no order-sensitive state leaves the loop
 	for _, z := range m.zones {
 		z.RepX /= float64(z.Cells)
 		z.RepY /= float64(z.Cells)
@@ -147,34 +148,37 @@ type Violation struct {
 // codification.
 func (m *Map) GrayViolations() []Violation {
 	var out []Violation
-	seen := make(map[[2]monitor.Code]bool)
-	for a, nbrs := range m.adj {
-		for b := range nbrs {
-			key := [2]monitor.Code{a, b}
-			if a > b {
-				key = [2]monitor.Code{b, a}
-			}
-			if seen[key] {
+	// Walk pairs in sorted code order, visiting each undirected edge once
+	// (a < b), so the result is ordered by construction.
+	for _, a := range sortedCodes(m.adj) {
+		for _, b := range sortedCodes(m.adj[a]) {
+			if b <= a {
 				continue
 			}
-			seen[key] = true
 			if d := a.HammingDistance(b); d > 1 {
-				out = append(out, Violation{A: key[0], B: key[1], Dist: d})
+				out = append(out, Violation{A: a, B: b, Dist: d})
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
-		}
-		return out[i].B < out[j].B
-	})
+	return out
+}
+
+// sortedCodes returns a code-keyed map's keys in ascending order — the
+// deterministic iteration every output-feeding walk in this package
+// uses.
+func sortedCodes[V any](m map[monitor.Code]V) []monitor.Code {
+	out := make([]monitor.Code, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // AdjacentPairs returns the total number of distinct adjacent zone pairs.
 func (m *Map) AdjacentPairs() int {
 	n := 0
+	//mclint:maporder commutative integer sum; the total is order-independent
 	for _, nbrs := range m.adj {
 		n += len(nbrs)
 	}
