@@ -19,6 +19,7 @@ import (
 	"repro/internal/signature"
 	"repro/internal/spice"
 	"repro/internal/testbench"
+	"repro/internal/wave"
 	"repro/internal/zone"
 )
 
@@ -565,6 +566,72 @@ func BenchmarkSpiceCUTOutput(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err := cut.Output(sys.Stimulus, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// CUT-SPICE-TEMPLATE: the same per-trial unit as BenchmarkSpiceCUTOutput
+// served through a per-worker circuit template — the campaign fast path
+// (perturb, refresh element values, settle + capture on the compiled
+// template). The ratio to BenchmarkSpiceCUTOutput is the per-trial
+// speedup the trial-template engine buys; TestSpiceTrialEnginePinnedSpeedup
+// pins it.
+func BenchmarkSpiceTrialEngine(b *testing.B) {
+	sys, err := core.DefaultSpice()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sc biquad.SpiceTrialScratch
+	trial := func() error {
+		cut, err := sys.Shifted(0.10)
+		if err != nil {
+			return err
+		}
+		_, err = cut.(*biquad.SpiceCUT).OutputScratch(sys.Stimulus, 0, &sc)
+		return err
+	}
+	if err := trial(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := trial(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// CUT-SPICE-BATCH: the same trials as BenchmarkSpiceTrialEngine served
+// through the cross-trial batched engine — blocks of deviated CUTs run
+// interleaved through the fused solve kernel, one op per trial. The
+// ratio to BenchmarkSpiceTrialEngine is what cross-trial latency hiding
+// buys on top of the per-trial template reuse.
+func BenchmarkSpiceTrialEngineBatch(b *testing.B) {
+	sys, err := core.DefaultSpice()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cuts := make([]*biquad.SpiceCUT, spice.BatchLanes)
+	for i := range cuts {
+		cut, err := sys.Shifted(0.10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cuts[i] = cut.(*biquad.SpiceCUT)
+	}
+	var sb biquad.SpiceTrialBatch
+	emit := func(i int, w wave.Waveform) error { return nil }
+	if err := biquad.SpiceOutputBatch(cuts, sys.Stimulus, 0, &sb, emit); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for done := 0; done < b.N; done += len(cuts) {
+		n := b.N - done
+		if n > len(cuts) {
+			n = len(cuts)
+		}
+		if err := biquad.SpiceOutputBatch(cuts[:n], sys.Stimulus, 0, &sb, emit); err != nil {
 			b.Fatal(err)
 		}
 	}

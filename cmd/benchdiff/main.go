@@ -26,9 +26,10 @@ import (
 )
 
 // defaultPins are the hot-path benchmarks the repository treats as a
-// performance contract: the SPICE linear fast path, the batched
+// performance contract: the SPICE linear fast path, the per-trial SPICE
+// campaign unit and its template/batched trial engines, the batched
 // signature engine, and the streaming reduction engine.
-const defaultPins = "TransientTowThomasLinear$|SignatureCaptureBatched$|AveragedNDFBatched$|CampaignReduce1M$|BankClassifyBatch$"
+const defaultPins = "TransientTowThomasLinear$|SpiceCUTOutput$|SpiceTrialEngine$|SpiceTrialEngineBatch$|FaultTableSpice$|SignatureCaptureBatched$|AveragedNDFBatched$|CampaignReduce1M$|BankClassifyBatch$"
 
 func main() {
 	var (

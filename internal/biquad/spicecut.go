@@ -23,6 +23,12 @@ type SpiceConfig struct {
 	// any practical bound; a capped settle mirrors a real tester's
 	// finite soak and still exposes the fault to the signature.
 	MaxSettlePeriods int
+	// Rebuild forces the rebuild-per-trial transient path even when the
+	// caller offers a trial scratch to OutputScratch. It is the reference
+	// configuration: the template-vs-rebuild bit-identity tests and the
+	// speedup pin run one campaign with Rebuild set and one without and
+	// require byte-equal results.
+	Rebuild bool
 	// Options passes through to the solver. Trapezoidal integration is
 	// forced on (second-order accuracy) unless ForceNewton-style
 	// debugging options are set by tests.
@@ -61,9 +67,20 @@ type SpiceCUT struct {
 	comps Components
 	cfg   SpiceConfig
 	pool  *sync.Pool // of *spice.Workspace, shared across the Perturb family
+	// ticks is the family-wide stimulus tick cache for the trial-template
+	// path (OutputScratch). Worker scratches are short-lived — campaigns
+	// rebuild them per invocation — so the cache lives here, with the
+	// family, and each settling class's stimulus grid is evaluated once
+	// per process rather than once per worker per campaign.
+	ticks *spice.TickCache
 
 	mu   sync.Mutex
 	outs map[outputKey]*wave.Sampled
+	// lru orders the cached keys least-recently-used first; Output evicts
+	// only the front entry when the cache fills, so a stimulus sweep
+	// cycling past maxOutputCache keys cannot flush entries that are
+	// still hot (the golden observation every trial compares against).
+	lru []outputKey
 }
 
 // outputKey identifies one computed output: the observation and the
@@ -86,6 +103,7 @@ func NewSpiceCUT(comps Components, cfg SpiceConfig) (*SpiceCUT, error) {
 		comps: comps,
 		cfg:   cfg.withDefaults(),
 		pool:  &sync.Pool{New: func() any { return spice.NewWorkspace() }},
+		ticks: spice.NewTickCache(),
 		outs:  map[outputKey]*wave.Sampled{},
 	}, nil
 }
@@ -137,6 +155,7 @@ func (s *SpiceCUT) Perturb(dev Deviation) (CUT, error) {
 		comps: comps,
 		cfg:   s.cfg,
 		pool:  s.pool,
+		ticks: s.ticks,
 		outs:  map[outputKey]*wave.Sampled{},
 	}, nil
 }
@@ -154,6 +173,7 @@ func (s *SpiceCUT) Output(stim *wave.Multitone, out Output) (wave.Waveform, erro
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if w, ok := s.outs[key]; ok {
+		s.touch(key)
 		return w, nil
 	}
 	w, err := s.simulate(stim, out, T)
@@ -163,12 +183,29 @@ func (s *SpiceCUT) Output(stim *wave.Multitone, out Output) (wave.Waveform, erro
 	// Bound the cache: campaigns reuse one stimulus object, so a handful
 	// of entries covers every real hit pattern. A stimulus *sweep* (one
 	// fresh Multitone per trial against a long-lived golden CUT) would
-	// otherwise grow the map without bound and without hits.
+	// otherwise grow the map without bound and without hits. Evict only
+	// the least-recently-used entry: the sweep's one-shot keys churn
+	// through that slot while the repeatedly-hit entries stay cached.
 	if len(s.outs) >= maxOutputCache {
-		clear(s.outs)
+		delete(s.outs, s.lru[0])
+		copy(s.lru, s.lru[1:])
+		s.lru = s.lru[:len(s.lru)-1]
 	}
 	s.outs[key] = w
+	s.lru = append(s.lru, key)
 	return w, nil
+}
+
+// touch moves key to the most-recently-used end of the eviction order.
+// Callers hold s.mu.
+func (s *SpiceCUT) touch(key outputKey) {
+	for i, k := range s.lru {
+		if k == key {
+			copy(s.lru[i:], s.lru[i+1:])
+			s.lru[len(s.lru)-1] = key
+			return
+		}
+	}
 }
 
 // maxOutputCache bounds the per-CUT output cache (entries are one

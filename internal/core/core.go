@@ -163,6 +163,11 @@ func (s *System) scans() (ts, xs []float64, err error) {
 type TrialScratch struct {
 	capture signature.CaptureBuffer
 	xs, ys  []float64
+	// spice carries the SPICE backend's per-worker trial state: a
+	// compiled circuit template plus the transient sample buffer, so a
+	// worker's trials skip netlist elaboration and solver setup entirely.
+	// Backends without a template path never touch it.
+	spice biquad.SpiceTrialScratch
 }
 
 // NewTrialScratch returns an empty scratch; buffers grow on first use.
@@ -285,6 +290,27 @@ func (s *System) output(c CUT) (wave.Waveform, error) {
 	return c.Output(s.Stimulus, s.Observe.output())
 }
 
+// trialOutputter is the optional CUT capability behind the batched trial
+// engine: backends that can serve an observation through a per-worker
+// trial scratch (the SPICE backend's compiled circuit template) run at
+// template speed inside campaign loops, with bit-identical samples.
+type trialOutputter interface {
+	OutputScratch(stim *wave.Multitone, out biquad.Output, sc *biquad.SpiceTrialScratch) (wave.Waveform, error)
+}
+
+// outputScratch is output with an optional per-worker trial scratch.
+// The returned waveform may alias the scratch's buffers and is valid
+// only until the scratch's next trial — exactly the lifetime the
+// signature paths need (they consume the waveform before returning).
+func (s *System) outputScratch(c CUT, sc *TrialScratch) (wave.Waveform, error) {
+	if sc != nil {
+		if to, ok := c.(trialOutputter); ok {
+			return to.OutputScratch(s.Stimulus, s.Observe.output(), &sc.spice)
+		}
+	}
+	return s.output(c)
+}
+
 // Lissajous returns the X-Y composition for a CUT (x = stimulus,
 // y = observed output).
 func (s *System) Lissajous(c CUT) (lissajous.Curve, error) {
@@ -383,15 +409,22 @@ func (s *System) ExactSignature(c CUT) (*signature.Signature, error) {
 // bisects the bracketed transitions with the exact classifier, so the
 // result is bit-identical to the scalar scan.
 func (s *System) exactSignature(c CUT, sc *TrialScratch) (*signature.Signature, error) {
-	out, err := s.output(c)
+	if s.Scalar {
+		out, err := s.output(c)
+		if err != nil {
+			return nil, err
+		}
+		cls := func(t float64) monitor.Code {
+			return s.Bank.Classify(s.Stimulus.Eval(t), out.Eval(t))
+		}
+		return signature.Exact(cls, s.Period(), s.ScanN, 0)
+	}
+	out, err := s.outputScratch(c, sc)
 	if err != nil {
 		return nil, err
 	}
 	cls := func(t float64) monitor.Code {
 		return s.Bank.Classify(s.Stimulus.Eval(t), out.Eval(t))
-	}
-	if s.Scalar {
-		return signature.Exact(cls, s.Period(), s.ScanN, 0)
 	}
 	ts, xs, err := s.scans()
 	if err != nil {
@@ -438,7 +471,7 @@ func (s *System) capturedSignature(c CUT, sigma float64, noise *rng.Stream, sc *
 		}
 		return signature.CaptureCanonical(cls, s.Period(), s.Capture, buf)
 	}
-	out, err := s.output(c)
+	out, err := s.outputScratch(c, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -599,8 +632,10 @@ func (s *System) averagedNDF(ctx context.Context, c CUT, sigma float64, noise *r
 	}
 	// Materialize the observed output once before fan-out: backends with
 	// an expensive Output (the SPICE transient) compute it here instead
-	// of inside every period's capture.
-	out, err := s.output(c)
+	// of inside every period's capture. With caller-owned scratch the
+	// periods run serially on this worker, so the scratch-backed waveform
+	// stays valid for all of them.
+	out, err := s.outputScratch(c, sc)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,67 @@
+package num
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// The solve benchmarks quantify why the batched trial engine exists: at
+// circuit-matrix sizes (n≈11 for the Tow-Thomas MNA system) a
+// triangular solve is latency-bound — the serial load→multiply→subtract
+// dependency chain, not the flop count, sets the time, so the sparse
+// program barely beats the dense solve. The fused four-lane kernel wins
+// by giving the core four independent chains to overlap.
+
+func benchSolveSystem(seed uint64, n int) (*LU, []float64) {
+	src := rng.New(seed)
+	a := randomSparseMatrix(src, n, 0.35)
+	lu, err := Factor(a)
+	if err != nil {
+		panic(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = src.Float64()*2 - 1
+	}
+	return lu, b
+}
+
+func BenchmarkSolveDense11(b *testing.B) {
+	lu, rhs := benchSolveSystem(1, 11)
+	x := make([]float64, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lu.Solve(rhs, x)
+	}
+}
+
+func BenchmarkSolveProgram11(b *testing.B) {
+	lu, rhs := benchSolveSystem(1, 11)
+	var p SolveProgram
+	lu.Compile(&p)
+	x := make([]float64, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Solve(rhs, x)
+	}
+}
+
+func BenchmarkSolveBatch4x11(b *testing.B) {
+	var ps [BatchLanes]*SolveProgram
+	var bs, xs [BatchLanes][]float64
+	for l := range ps {
+		lu, rhs := benchSolveSystem(uint64(l+1), 11)
+		ps[l] = new(SolveProgram)
+		lu.Compile(ps[l])
+		bs[l] = rhs
+		xs[l] = make([]float64, 11)
+	}
+	var sb SolveBatch
+	sb.Compile(&ps)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sb.Solve(&bs, &xs)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/BatchLanes, "ns/lane")
+}

@@ -102,6 +102,11 @@ type solver struct {
 	c   *Circuit
 	opt Options
 	ws  *Workspace
+	// st is the scratch Stamper handed to Element.Stamp. Stamp takes a
+	// *Stamper through an interface, so a stack-local would escape and
+	// heap-allocate on every Newton iteration; a solver field keeps the
+	// warm trial loop allocation-free.
+	st Stamper
 }
 
 func newSolver(c *Circuit, opt Options) *solver {
@@ -139,12 +144,12 @@ func (s *solver) newton(tmpl Stamper, gmin float64) error {
 		for i := range ws.b {
 			ws.b[i] = 0
 		}
-		st := tmpl
-		st.A = ws.a
-		st.B = ws.b
-		st.X = ws.x
+		s.st = tmpl
+		s.st.A = ws.a
+		s.st.B = ws.b
+		s.st.X = ws.x
 		for _, e := range s.c.elements {
-			e.Stamp(&st)
+			e.Stamp(&s.st)
 		}
 		// gmin from every node to ground keeps the matrix nonsingular in
 		// the presence of floating or source-follower nodes.
@@ -202,8 +207,18 @@ func DCOperatingPointWS(c *Circuit, opt Options, prev *Solution, ws *Workspace) 
 }
 
 func (s *solver) dcop(init *Solution) (*Solution, error) {
-	if err := s.c.Validate(); err != nil {
+	if err := s.dcopWS(init); err != nil {
 		return nil, err
+	}
+	return s.solution(), nil
+}
+
+// dcopWS is dcop leaving the operating point in the workspace iterate
+// (ws.x) instead of materializing a Solution — the allocation-free form
+// the trial-template engine calls once per trial.
+func (s *solver) dcopWS(init *Solution) error {
+	if err := s.c.Validate(); err != nil {
+		return err
 	}
 	ws := s.ws
 	tmpl := Stamper{DC: true, SrcScale: 1}
@@ -211,7 +226,7 @@ func (s *solver) dcop(init *Solution) (*Solution, error) {
 		copy(ws.x, init.X)
 	}
 	if err := s.newton(tmpl, s.opt.Gmin); err == nil {
-		return s.solution(), nil
+		return nil
 	}
 	// gmin stepping: solve with a large gmin, then relax it decade by
 	// decade, reusing each solution as the next starting point.
@@ -227,7 +242,7 @@ func (s *solver) dcop(init *Solution) (*Solution, error) {
 	}
 	if converged {
 		if err := s.newton(tmpl, s.opt.Gmin); err == nil {
-			return s.solution(), nil
+			return nil
 		}
 	}
 	// Source stepping: ramp all independent sources from 10% to 100%.
@@ -241,10 +256,10 @@ func (s *solver) dcop(init *Solution) (*Solution, error) {
 		st := tmpl
 		st.SrcScale = scale
 		if err := s.newton(st, s.opt.Gmin); err != nil {
-			return nil, fmt.Errorf("%w (source stepping failed at %.0f%%)", ErrNoConvergence, scale*100)
+			return fmt.Errorf("%w (source stepping failed at %.0f%%)", ErrNoConvergence, scale*100)
 		}
 		if scale == 1 {
-			return s.solution(), nil
+			return nil
 		}
 	}
 }

@@ -1,0 +1,90 @@
+package testbench
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/biquad"
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/ndf"
+)
+
+// templateTestSystem builds a SPICE-backed reference system at reduced
+// resolution (fast enough for exhaustive comparison) with the trial
+// templates either active or forced off via SpiceConfig.Rebuild.
+func templateTestSystem(t *testing.T, rebuild bool, obs core.Observation) *core.System {
+	t.Helper()
+	ref := core.Default()
+	cfg := biquad.SpiceConfig{StepsPerPeriod: 256, Rebuild: rebuild}
+	cut, err := biquad.NewSpiceCUTFromParams(ref.Golden(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(ref.Stimulus, cut, ref.Bank, ref.Capture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.ScanN = 1024
+	sys.Observe = obs
+	return sys
+}
+
+// TestSpiceTemplateCampaignBitIdentity is the end-to-end contract of the
+// trial-template engine: full fault-table and yield campaigns on the
+// SPICE backend produce byte-identical payloads with templates on and
+// off (Rebuild), for both observations, at 1, 4 and 8 workers.
+func TestSpiceTemplateCampaignBitIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SPICE campaign comparison is slower")
+	}
+	ctx := context.Background()
+	dec := ndf.Decision{Threshold: 0.02}
+	faults := DefaultFaultSet()
+	for _, obs := range []core.Observation{core.ObserveLP, core.ObserveBP} {
+		var wantFaults *FaultTable
+		var wantYield *Yield
+		for _, workers := range []int{1, 4, 8} {
+			eng := campaign.Engine{Workers: workers, Seed: 9001}
+			tmplSys := templateTestSystem(t, false, obs)
+			rbldSys := templateTestSystem(t, true, obs)
+
+			ft, err := runFaultTable(ctx, tmplSys, dec, faults, eng)
+			if err != nil {
+				t.Fatalf("obs %v workers %d: template fault table: %v", obs, workers, err)
+			}
+			ftRef, err := runFaultTable(ctx, rbldSys, dec, faults, eng)
+			if err != nil {
+				t.Fatalf("obs %v workers %d: rebuild fault table: %v", obs, workers, err)
+			}
+			if !reflect.DeepEqual(ft, ftRef) {
+				t.Fatalf("obs %v workers %d: fault table differs between template and rebuild paths\n template: %+v\n rebuild:  %+v",
+					obs, workers, ft, ftRef)
+			}
+			if wantFaults == nil {
+				wantFaults = ft
+			} else if !reflect.DeepEqual(ft, wantFaults) {
+				t.Fatalf("obs %v: fault table at %d workers differs from 1 worker", obs, workers)
+			}
+
+			yt, err := runYield(ctx, tmplSys, dec, 48, 0.02, 0.05, eng)
+			if err != nil {
+				t.Fatalf("obs %v workers %d: template yield: %v", obs, workers, err)
+			}
+			ytRef, err := runYield(ctx, rbldSys, dec, 48, 0.02, 0.05, eng)
+			if err != nil {
+				t.Fatalf("obs %v workers %d: rebuild yield: %v", obs, workers, err)
+			}
+			if !reflect.DeepEqual(yt, ytRef) {
+				t.Fatalf("obs %v workers %d: yield differs between template and rebuild paths\n template: %+v\n rebuild:  %+v",
+					obs, workers, yt, ytRef)
+			}
+			if wantYield == nil {
+				wantYield = yt
+			} else if !reflect.DeepEqual(yt, wantYield) {
+				t.Fatalf("obs %v: yield at %d workers differs from 1 worker", obs, workers)
+			}
+		}
+	}
+}

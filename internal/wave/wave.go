@@ -282,6 +282,23 @@ func NewSampled(samples []float64, period float64) (*Sampled, error) {
 	return &Sampled{v: append([]float64(nil), samples...), period: period}, nil
 }
 
+// Reuse repoints s at the caller's sample buffer, with NewSampled's
+// validation. Unlike NewSampled the samples are aliased, not copied:
+// the waveform is valid only until the caller overwrites the buffer.
+// It exists for the SPICE trial scratch, which refills one sample
+// buffer per trial and re-issues it as a Waveform without allocating.
+func (s *Sampled) Reuse(samples []float64, period float64) error {
+	if len(samples) < 2 {
+		return fmt.Errorf("wave: sampled waveform needs >= 2 samples, got %d", len(samples))
+	}
+	if period <= 0 || math.IsInf(period, 0) || math.IsNaN(period) {
+		return fmt.Errorf("wave: sampled waveform period %g must be positive and finite", period)
+	}
+	s.v = samples
+	s.period = period
+	return nil
+}
+
 // Eval implements Waveform by linear interpolation between the two
 // neighbouring samples, wrapping modulo the period.
 func (s *Sampled) Eval(t float64) float64 {

@@ -331,3 +331,40 @@ func TestSampledValidation(t *testing.T) {
 		t.Fatal("samples not copied")
 	}
 }
+
+func TestSampledReuse(t *testing.T) {
+	s, err := NewSampled([]float64{0, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reuse aliases: mutating the buffer changes the waveform, and no
+	// allocation happens on the refresh path.
+	buf := []float64{2, 4, 6, 8}
+	if err := s.Reuse(buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Period() != 2 {
+		t.Fatalf("period = %v after Reuse", s.Period())
+	}
+	if got := s.Eval(0.5); got != 4 {
+		t.Fatalf("Eval(0.5) = %v, want 4", got)
+	}
+	buf[1] = -4
+	if got := s.Eval(0.5); got != -4 {
+		t.Fatal("Reuse must alias, not copy")
+	}
+	if err := s.Reuse([]float64{1}, 1); err == nil {
+		t.Fatal("single sample accepted by Reuse")
+	}
+	if err := s.Reuse(buf, 0); err == nil {
+		t.Fatal("zero period accepted by Reuse")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := s.Reuse(buf, 2); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Reuse allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,136 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/biquad"
+	"repro/internal/core"
+	"repro/internal/wave"
+)
+
+// spicePinFaults is the BenchmarkFaultTableSpice fault set — the
+// "FaultTableSpice-shaped work" the trial-engine pin runs on.
+func spicePinFaults() []biquad.Fault {
+	return []biquad.Fault{
+		{Kind: biquad.FaultParametric, Target: biquad.TargetR, Frac: 0.10},
+		{Kind: biquad.FaultOpen, Target: biquad.TargetRQ},
+		{Kind: biquad.FaultShort, Target: biquad.TargetC},
+	}
+}
+
+// TestSpiceTrialEnginePinnedSpeedup pins the trial-template engine's
+// performance contract, in the style of TestBatchedEnginePinnedSpeedup:
+// SPICE trial throughput — perturb the golden netlist, run the settling
+// + capture transient, observe the output — on the FaultTableSpice
+// fault set must be at least 3x the rebuild-per-trial path
+// (SpiceConfig.Rebuild, the pre-template behavior). The timed unit is
+// the campaign's per-trial SPICE work; signature extraction is shared
+// verbatim by both paths and pinned bit-identical end to end by
+// TestSpiceTemplateCampaignBitIdentity, so it is excluded here to keep
+// the pin measuring the engine under test. The template side serves the
+// block through SpiceOutputBatch (the cross-trial batched engine, lanes
+// interleaved through the fused solve kernel); the rebuild side pays
+// netlist elaboration, restamped transients and fresh buffers per
+// trial, exactly as every SPICE campaign did before trial templates.
+// The pin tolerates machine noise by taking the best of three rounds;
+// the companion bit-identity tests (spice TestCircuitTemplateMatchesRebuild
+// and TestRunTrialsBatchMatchesRunTrial, biquad
+// TestOutputScratchMatchesOutput and TestSpiceOutputBatchMatchesOutput,
+// testbench TestSpiceTemplateCampaignBitIdentity) guarantee the speed
+// never costs a single bit.
+func TestSpiceTrialEnginePinnedSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing pin skipped in -short mode (race CI distorts timing)")
+	}
+	tmplSys, err := core.DefaultSpice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmplRoot := tmplSys.CUT.(*biquad.SpiceCUT)
+	rbldRoot, err := biquad.NewSpiceCUTFromParams(tmplSys.Golden(), biquad.SpiceConfig{Rebuild: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim := tmplSys.Stimulus
+
+	// Four repetitions of the fault set per op keep the batch lanes
+	// occupied past the initial fill, like a real fault-table block.
+	const reps = 4
+	faults := spicePinFaults()
+	perturb := func(root *biquad.SpiceCUT) ([]*biquad.SpiceCUT, error) {
+		cuts := make([]*biquad.SpiceCUT, 0, reps*len(faults))
+		for r := 0; r < reps; r++ {
+			for i := range faults {
+				c, err := root.Perturb(biquad.Deviation{Fault: &faults[i]})
+				if err != nil {
+					return nil, err
+				}
+				cuts = append(cuts, c.(*biquad.SpiceCUT))
+			}
+		}
+		return cuts, nil
+	}
+	var sink float64
+	var batch biquad.SpiceTrialBatch
+	tmplOp := func() error {
+		cuts, err := perturb(tmplRoot)
+		if err != nil {
+			return err
+		}
+		return biquad.SpiceOutputBatch(cuts, stim, biquad.OutputLP, &batch,
+			func(i int, w wave.Waveform) error {
+				sink += w.Eval(0)
+				return nil
+			})
+	}
+	rbldOp := func() error {
+		cuts, err := perturb(rbldRoot)
+		if err != nil {
+			return err
+		}
+		for _, c := range cuts {
+			w, err := c.Output(stim, biquad.OutputLP)
+			if err != nil {
+				return err
+			}
+			sink += w.Eval(0)
+		}
+		return nil
+	}
+	// Warm both paths outside the timed region (tick caches, workspace
+	// pools, lane templates) and surface any setup error early.
+	if err := tmplOp(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rbldOp(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Errors surface through opErr: testing.Benchmark runs the closure on
+	// a separate goroutine, where t.Fatal must not be called.
+	var opErr error
+	best := 0.0
+	for round := 0; round < 3 && best < 3; round++ {
+		rt := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N && opErr == nil; i++ {
+				opErr = tmplOp()
+			}
+		})
+		rr := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N && opErr == nil; i++ {
+				opErr = rbldOp()
+			}
+		})
+		if opErr != nil {
+			t.Fatal(opErr)
+		}
+		if ratio := float64(rr.NsPerOp()) / float64(rt.NsPerOp()); ratio > best {
+			best = ratio
+		}
+	}
+	t.Logf("FaultTableSpice trials: batched trial templates are %.1fx the rebuild-per-trial path", best)
+	if best < 3 {
+		t.Fatalf("trial-template engine only %.2fx the rebuild path, pinned at >= 3x", best)
+	}
+	_ = sink
+}
