@@ -16,7 +16,7 @@ GOFMT ?= gofmt
 # Perf trajectory snapshot number: bump per PR (or override with
 # `make bench-json BENCH_N=7`) so BENCH_<N>.json files accumulate and
 # bench-diff always compares the two most recent.
-BENCH_N ?= 7
+BENCH_N ?= 8
 BENCH_PREV = $(shell expr $(BENCH_N) - 1)
 
 .PHONY: ci fmt vet lint lint-json build test race bench bench-json bench-smoke bench-diff fuzz-smoke serve-smoke
@@ -81,24 +81,27 @@ bench-diff:
 
 # Smoke gate: single-iteration run of the SPICE transient, the
 # SPICE-campaign (rebuild, template and batched trial engines), the
-# batched-signature-engine, the streaming-reduction and the
-# registry-dispatch benchmarks (fast path, Newton baseline, CUT output,
-# trial templates, fault table, batched vs scalar capture, Reduce vs
-# Run, spec dispatch) — proves the hot paths still execute end to end.
+# batched-signature-engine, the streaming-reduction, the
+# registry-dispatch and the streaming-statistics benchmarks (fast path,
+# Newton baseline, CUT output, trial templates, fault table, batched vs
+# scalar capture, Reduce vs Run, spec dispatch, sketch push, streamed
+# null calibration) — proves the hot paths still execute end to end.
 bench-smoke:
-	$(GO) test -bench='TransientTowThomas|SpiceCUT|SpiceTrialEngine|FaultTableSpice|SignatureCapture|AveragedNDF|BankClassify|RegistryDispatch|CampaignReduce1M|CampaignRun1M' -benchtime=1x -run=^$$ .
+	$(GO) test -bench='TransientTowThomas|SpiceCUT|SpiceTrialEngine|FaultTableSpice|SignatureCapture|AveragedNDF|BankClassify|RegistryDispatch|CampaignReduce1M|CampaignRun1M|QuantileSketchPush|NoiseNullCalibration' -benchtime=1x -run=^$$ .
 
 # Short-budget fuzz pass over the SPICE netlist parser, the signature
-# binary decoder and the trial-template mutation engine (seed corpora
-# are checked in under testdata/fuzz). Each target gets 10s — enough to
-# exercise the mutator on every seed class without blowing the CI
-# budget. `go test -fuzz` accepts one target per invocation, hence the
-# four runs.
+# binary decoder, the trial-template mutation engine and the streaming
+# statistics codecs (seed corpora are checked in under testdata/fuzz).
+# Each target gets 10s — enough to exercise the mutator on every seed
+# class without blowing the CI budget. `go test -fuzz` accepts one
+# target per invocation, hence the per-target runs.
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz='^FuzzParseValue$$' -fuzztime=10s ./internal/spice
 	$(GO) test -run=^$$ -fuzz='^FuzzParse$$' -fuzztime=10s ./internal/spice
 	$(GO) test -run=^$$ -fuzz='^FuzzTemplateMutation$$' -fuzztime=10s ./internal/spice
 	$(GO) test -run=^$$ -fuzz='^FuzzUnmarshalBinary$$' -fuzztime=10s ./internal/signature
+	$(GO) test -run=^$$ -fuzz='^FuzzQuantileSketchUnmarshal$$' -fuzztime=10s ./internal/stat
+	$(GO) test -run=^$$ -fuzz='^FuzzStreamingHistogramUnmarshal$$' -fuzztime=10s ./internal/stat
 
 # HTTP service smoke: boot mcserved on an ephemeral port and run one
 # small campaign through its own API (list, submit, poll, result).

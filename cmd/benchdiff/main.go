@@ -28,8 +28,9 @@ import (
 // defaultPins are the hot-path benchmarks the repository treats as a
 // performance contract: the SPICE linear fast path, the per-trial SPICE
 // campaign unit and its template/batched trial engines, the batched
-// signature engine, and the streaming reduction engine.
-const defaultPins = "TransientTowThomasLinear$|SpiceCUTOutput$|SpiceTrialEngine$|SpiceTrialEngineBatch$|FaultTableSpice$|SignatureCaptureBatched$|AveragedNDFBatched$|CampaignReduce1M$|BankClassifyBatch$"
+// signature engine, the streaming reduction engine, and the streaming
+// statistics (quantile-sketch push and the streamed null calibration).
+const defaultPins = "TransientTowThomasLinear$|SpiceCUTOutput$|SpiceTrialEngine$|SpiceTrialEngineBatch$|FaultTableSpice$|SignatureCaptureBatched$|AveragedNDFBatched$|CampaignReduce1M$|BankClassifyBatch$|QuantileSketchPush$|NoiseNullCalibration$"
 
 func main() {
 	var (

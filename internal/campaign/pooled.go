@@ -1,0 +1,39 @@
+package campaign
+
+import "sync"
+
+// PooledReducer wraps a reducer whose accumulator is a heavy reusable
+// object — a quantile sketch, a histogram, a scratch matrix — so chunk
+// accumulators are drawn from a sync.Pool and recycled the moment their
+// chunk is merged, instead of being freshly allocated once per chunk. A
+// million-trial reduction retires hundreds of chunks; without pooling,
+// each one allocates a full accumulator that lives only long enough to
+// be merged, and total allocation grows with the trial count even
+// though live heap stays flat. With pooling, steady state is one warm
+// accumulator per worker plus the merge window.
+//
+// reset must return the accumulator to its New state in place. Merge
+// must fold next into the running accumulator without retaining next —
+// the wrapper puts next back in the pool as soon as r.Merge returns
+// (true for every integer-count merge in this codebase; a Merge that
+// keeps a reference to next cannot be pooled).
+//
+// The determinism contract is unchanged: pooling touches only where
+// accumulators come from, never the fold or merge order.
+func PooledReducer[T, A any](r Reducer[T, A], reset func(A)) Reducer[T, A] {
+	newAcc := r.New
+	if newAcc == nil {
+		newAcc = func() A { var a A; return a }
+	}
+	pool := &sync.Pool{New: func() any { return newAcc() }}
+	return Reducer[T, A]{
+		New:  func() A { return pool.Get().(A) },
+		Fold: r.Fold,
+		Merge: func(into, next A) A {
+			out := r.Merge(into, next)
+			reset(next)
+			pool.Put(next)
+			return out
+		},
+	}
+}

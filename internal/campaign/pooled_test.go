@@ -1,0 +1,89 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/stat"
+)
+
+// sketchReducer is the mergeable-accumulator surface the noise
+// calibrations run on: per-chunk quantile sketches folded in index
+// order, merged exactly by integer addition.
+func sketchReducer() Reducer[float64, *stat.QuantileSketch] {
+	return Reducer[float64, *stat.QuantileSketch]{
+		New: func() *stat.QuantileSketch { return stat.NewQuantileSketch(stat.DefaultSketchPrecision) },
+		Fold: func(acc *stat.QuantileSketch, _ int, v float64) *stat.QuantileSketch {
+			acc.Push(v)
+			return acc
+		},
+		Merge: func(into, next *stat.QuantileSketch) *stat.QuantileSketch {
+			into.Merge(next)
+			return into
+		},
+	}
+}
+
+// sketchTrial is a deterministic allocation-free synthetic measurement
+// with enough spread to occupy many sketch buckets.
+func sketchTrial(i int) (float64, error) {
+	return 0.001 + float64(i%997)*0.003, nil
+}
+
+// A pooled sketch reduction is bit-identical to the single-stream
+// sketch at any worker count: the sketch's integer merges are exactly
+// associative, and pooling only changes where accumulators come from.
+func TestPooledReducerSketchBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	const n = 20_000
+	want := stat.NewQuantileSketch(stat.DefaultSketchPrecision)
+	for i := 0; i < n; i++ {
+		v, _ := sketchTrial(i)
+		want.Push(v)
+	}
+	wantBytes, err := want.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 4, 8} {
+		red := PooledReducer(sketchReducer(), func(s *stat.QuantileSketch) { s.Reset() })
+		got, err := Reduce(ctx, Engine{Workers: w, Chunk: 512}, n, red, sketchTrial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotBytes, err := got.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotBytes, wantBytes) {
+			t.Fatalf("workers=%d: pooled sketch reduction differs from single-stream sketch", w)
+		}
+	}
+}
+
+// Pooling keeps total allocation flat in the trial count: recycled
+// chunk sketches mean a 1M-trial reduction allocates no more than a
+// small multiple of a 10k-trial one, where the unpooled reducer pays
+// one full sketch allocation per chunk.
+func TestPooledReducerFlatAllocation(t *testing.T) {
+	ctx := context.Background()
+	alloc := func(n int) uint64 {
+		red := PooledReducer(sketchReducer(), func(s *stat.QuantileSketch) { s.Reset() })
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		if _, err := Reduce(ctx, Engine{Workers: 4}, n, red, sketchTrial); err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		return after.TotalAlloc - before.TotalAlloc
+	}
+	small := alloc(10_000)
+	big := alloc(1_000_000)
+	t.Logf("pooled sketch reduce allocated %d B at 10k trials, %d B at 1M trials", small, big)
+	if big > 10*small+1<<20 {
+		t.Fatalf("pooled reduction memory scales with trials: %d B at 10k vs %d B at 1M", small, big)
+	}
+}

@@ -1,0 +1,364 @@
+package stat
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+)
+
+// testRand is a tiny deterministic splitmix64 stream so the sketch
+// tests never depend on global randomness (the same discipline the
+// campaign engine enforces).
+type testRand uint64
+
+func (r *testRand) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a deterministic float64 in [0, 1).
+func (r *testRand) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// sketchSample builds a deterministic mixed-sign heavy-tailed sample.
+func sketchSample(n int, seed uint64) []float64 {
+	r := testRand(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		u := r.float()
+		x := math.Exp(8*u - 4) // log-uniform over ~[0.018, 54]
+		switch i % 7 {
+		case 3:
+			x = -x
+		case 5:
+			x = 0
+		}
+		xs[i] = x
+	}
+	return xs
+}
+
+func TestQuantileSketchWithinErrorBound(t *testing.T) {
+	for _, prec := range []int{1, 4, DefaultSketchPrecision, 10} {
+		xs := sketchSample(5000, 42)
+		s := NewQuantileSketch(prec)
+		for _, x := range xs {
+			s.Push(x)
+		}
+		relErr := s.RelativeError()
+		for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			got, err := s.Quantile(q)
+			if err != nil {
+				t.Fatalf("prec %d q %v: %v", prec, q, err)
+			}
+			want := Quantile(xs, q)
+			// The interpolated estimate is a convex combination of two
+			// bucket midpoints, each within relErr of its order
+			// statistic, so the bound carries through.
+			if math.Abs(got-want) > relErr*math.Abs(want)+1e-12 {
+				t.Fatalf("prec %d q %v: sketch %v vs exact %v exceeds rel err %v",
+					prec, q, got, want, relErr)
+			}
+		}
+		// The extremes are exact, not merely within bounds.
+		lo, hi := MinMax(xs)
+		if got, _ := s.Quantile(0); got != lo {
+			t.Fatalf("prec %d: Quantile(0) = %v, want exact min %v", prec, got, lo)
+		}
+		if got, _ := s.Quantile(1); got != hi {
+			t.Fatalf("prec %d: Quantile(1) = %v, want exact max %v", prec, got, hi)
+		}
+	}
+}
+
+// TestQuantileSketchMergeMatchesSingleStream is the order-stability
+// property the campaign merge contract rests on: per-chunk sketches
+// merged in stable index order are bit-identical to the single-stream
+// sketch, at every simulated worker count.
+func TestQuantileSketchMergeMatchesSingleStream(t *testing.T) {
+	xs := sketchSample(4097, 7)
+	whole := NewQuantileSketch(DefaultSketchPrecision)
+	for _, x := range xs {
+		whole.Push(x)
+	}
+	wantBytes, err := whole.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunks := range []int{1, 4, 8} {
+		parts := make([]*QuantileSketch, chunks)
+		size := (len(xs) + chunks - 1) / chunks
+		for c := range parts {
+			parts[c] = NewQuantileSketch(DefaultSketchPrecision)
+			lo, hi := c*size, min((c+1)*size, len(xs))
+			for _, x := range xs[lo:hi] {
+				parts[c].Push(x)
+			}
+		}
+		merged := NewQuantileSketch(DefaultSketchPrecision)
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		got, err := merged.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, wantBytes) {
+			t.Fatalf("%d-chunk merge differs from single-stream sketch", chunks)
+		}
+	}
+}
+
+// TestQuantileSketchMergeCommutes verifies the stronger property the
+// integer-count design buys: merge order does not matter at all —
+// shards can merge in any order and still agree bit for bit.
+func TestQuantileSketchMergeCommutes(t *testing.T) {
+	mk := func(seed uint64) *QuantileSketch {
+		s := NewQuantileSketch(DefaultSketchPrecision)
+		for _, x := range sketchSample(513, seed) {
+			s.Push(x)
+		}
+		return s
+	}
+	ab := mk(1)
+	ab.Merge(mk(2))
+	ab.Merge(mk(3))
+	cba := mk(3)
+	cba.Merge(mk(2))
+	cba.Merge(mk(1))
+	a, _ := ab.MarshalBinary()
+	b, _ := cba.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Fatal("merge is not commutative")
+	}
+}
+
+func TestQuantileSketchInvalidObservations(t *testing.T) {
+	s := NewQuantileSketch(DefaultSketchPrecision)
+	s.Push(1)
+	s.Push(math.NaN())
+	s.Push(math.Inf(1))
+	if s.Invalid() != 2 {
+		t.Fatalf("invalid = %d, want 2", s.Invalid())
+	}
+	if _, err := s.Quantile(0.5); err == nil {
+		t.Fatal("quantile of a NaN-poisoned sketch must fail")
+	}
+}
+
+func TestQuantileSketchEdgeCases(t *testing.T) {
+	s := NewQuantileSketch(DefaultSketchPrecision)
+	if _, err := s.Quantile(0.5); err == nil {
+		t.Fatal("empty sketch must fail")
+	}
+	if _, err := s.Quantile(1.5); err == nil {
+		t.Fatal("out-of-range quantile must fail")
+	}
+	s.Push(3.25)
+	for _, q := range []float64{0, 0.5, 1} {
+		if v, err := s.Quantile(q); err != nil || v != 3.25 {
+			t.Fatalf("single-sample quantile(%v) = %v, %v", q, v, err)
+		}
+	}
+	// Out-of-octave-range magnitudes: clamped to the exact extrema.
+	tiny := NewQuantileSketch(DefaultSketchPrecision)
+	tiny.Push(1e-30)
+	tiny.Push(1e-30)
+	if v, _ := tiny.Quantile(0.5); v != 1e-30 {
+		t.Fatalf("underflow-bucket quantile = %v, want exact 1e-30", v)
+	}
+	huge := NewQuantileSketch(DefaultSketchPrecision)
+	huge.Push(1e25)
+	huge.Push(1e25)
+	if v, _ := huge.Quantile(0.5); v != 1e25 {
+		t.Fatalf("overflow-bucket quantile = %v, want exact 1e25", v)
+	}
+	// A constant sample reads back exactly at every quantile (clamping).
+	c := NewQuantileSketch(1)
+	for i := 0; i < 100; i++ {
+		c.Push(0.7351)
+	}
+	for _, q := range []float64{0, 0.3, 0.5, 0.99, 1} {
+		if v, _ := c.Quantile(q); v != 0.7351 {
+			t.Fatalf("constant-sample quantile(%v) = %v", q, v)
+		}
+	}
+}
+
+func TestQuantileSketchResetReuse(t *testing.T) {
+	s := NewQuantileSketch(DefaultSketchPrecision)
+	for _, x := range sketchSample(1000, 9) {
+		s.Push(x)
+	}
+	s.Reset()
+	if s.N() != 0 {
+		t.Fatalf("N after reset = %d", s.N())
+	}
+	fresh := NewQuantileSketch(DefaultSketchPrecision)
+	for _, x := range sketchSample(500, 11) {
+		s.Push(x)
+		fresh.Push(x)
+	}
+	a, _ := s.MarshalBinary()
+	b, _ := fresh.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Fatal("reused sketch differs from a fresh one")
+	}
+}
+
+func TestQuantileSketchPrecisionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched precisions must panic")
+		}
+	}()
+	NewQuantileSketch(2).Merge(NewQuantileSketch(3))
+}
+
+func TestQuantileSketchBinaryRoundTrip(t *testing.T) {
+	s := NewQuantileSketch(DefaultSketchPrecision)
+	for _, x := range sketchSample(2000, 5) {
+		s.Push(x)
+	}
+	s.Push(1e-30) // underflow
+	s.Push(1e25)  // overflow
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back QuantileSketch
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	again, err := back.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("round trip is not canonical")
+	}
+	q1, _ := s.Quantile(0.9)
+	q2, _ := back.Quantile(0.9)
+	if q1 != q2 {
+		t.Fatalf("round-tripped quantile %v != %v", q2, q1)
+	}
+}
+
+func TestQuantileSketchUnmarshalRejectsCorruption(t *testing.T) {
+	s := NewQuantileSketch(DefaultSketchPrecision)
+	s.Push(1)
+	s.Push(2)
+	good, _ := s.MarshalBinary()
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOPE0000000000000000"),
+		"truncated": good[:len(good)-1],
+		"trailing":  append(append([]byte{}, good...), 0),
+	}
+	// Header count drift: bump n without matching buckets.
+	drift := append([]byte{}, good...)
+	drift[5]++ // n uvarint (small values are single bytes)
+	cases["count drift"] = drift
+	for name, data := range cases {
+		var back QuantileSketch
+		if err := back.UnmarshalBinary(data); err == nil {
+			t.Fatalf("%s: decode must fail", name)
+		}
+	}
+}
+
+// TestQuantileSketchPushZeroAlloc pins the hot fold path: once both
+// touched sign arrays exist, Push never allocates.
+func TestQuantileSketchPushZeroAlloc(t *testing.T) {
+	s := NewQuantileSketch(DefaultSketchPrecision)
+	s.Push(1.5)  // touch positive side
+	s.Push(-1.5) // touch negative side
+	i := 0
+	if avg := testing.AllocsPerRun(1000, func() {
+		s.Push(float64(i%17) * 0.3)
+		s.Push(-float64(i%5) * 1.7)
+		i++
+	}); avg != 0 {
+		t.Fatalf("warm Push allocates %v per run, pinned at 0", avg)
+	}
+}
+
+func TestRunningMergeMatchesWholeSample(t *testing.T) {
+	xs := sketchSample(999, 13)
+	var whole Running
+	for _, x := range xs {
+		whole.Push(x)
+	}
+	for _, chunks := range []int{1, 4, 8} {
+		var merged Running
+		size := (len(xs) + chunks - 1) / chunks
+		for c := 0; c < chunks; c++ {
+			var part Running
+			lo, hi := c*size, min((c+1)*size, len(xs))
+			for _, x := range xs[lo:hi] {
+				part.Push(x)
+			}
+			merged.Merge(part)
+		}
+		if merged.N() != whole.N() || merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+			t.Fatalf("%d-chunk merge: n/min/max drifted", chunks)
+		}
+		if math.Abs(merged.Mean()-Mean(xs)) > 1e-12 {
+			t.Fatalf("%d-chunk merge mean %v vs exact %v", chunks, merged.Mean(), Mean(xs))
+		}
+		if math.Abs(merged.Variance()-Variance(xs)) > 1e-9 {
+			t.Fatalf("%d-chunk merge variance %v vs exact %v", chunks, merged.Variance(), Variance(xs))
+		}
+	}
+}
+
+// TestRunningMergeDeterministicAtFixedChunks pins bit-reproducibility
+// of the float merge at a fixed chunk grouping: merging the same parts
+// in the same order twice gives identical bits.
+func TestRunningMergeDeterministicAtFixedChunks(t *testing.T) {
+	xs := sketchSample(1000, 17)
+	run := func() (float64, float64) {
+		var m Running
+		for c := 0; c < 4; c++ {
+			var part Running
+			for _, x := range xs[c*250 : (c+1)*250] {
+				part.Push(x)
+			}
+			m.Merge(part)
+		}
+		return m.Mean(), m.Variance()
+	}
+	m1, v1 := run()
+	m2, v2 := run()
+	if m1 != m2 || v1 != v2 {
+		t.Fatal("fixed-grouping merge is not bit-reproducible")
+	}
+}
+
+// quantileExactReference cross-checks the sketch's rank semantics
+// against a brute-force order-statistic walk at tiny n, where every
+// rank boundary is exercised.
+func TestQuantileSketchRankSemantics(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	s := NewQuantileSketch(MaxSketchPrecision)
+	for _, x := range xs {
+		s.Push(x)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Quantile(xs, q)
+		if math.Abs(got-want) > s.RelativeError()*want {
+			t.Fatalf("q %v: %v vs %v", q, got, want)
+		}
+	}
+}

@@ -222,6 +222,35 @@ func (r *Running) Push(x float64) {
 	r.m2 += d * (x - r.mean)
 }
 
+// Merge folds another Running accumulator into r via the standard
+// parallel-variance combination (Chan et al.), so per-chunk moment
+// accumulators merged in stable index order give the same mean/variance
+// at any worker count — the streaming campaigns' merge discipline. The
+// combination is floating-point, so unlike the integer-count sketches
+// it is only reproducible at a fixed chunk grouping (the same contract
+// every float fold under campaign.Reduce already carries).
+func (r *Running) Merge(o Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = o
+		return
+	}
+	na, nb := float64(r.n), float64(o.n)
+	n := na + nb
+	delta := o.mean - r.mean
+	r.mean += delta * nb / n
+	r.m2 += o.m2 + delta*delta*na*nb/n
+	r.n += o.n
+	if o.min < r.min {
+		r.min = o.min
+	}
+	if o.max > r.max {
+		r.max = o.max
+	}
+}
+
 // N returns the number of observations pushed so far.
 func (r *Running) N() int { return r.n }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/biquad"
 	"repro/internal/ndf"
+	"repro/internal/stat"
 )
 
 // This file is the campaign registry's catalogue: every experiment driver
@@ -68,12 +69,16 @@ type Fig8Params struct {
 	Tol    float64 `json:"tol"`
 }
 
-// NoiseParams configures the "noise" campaign.
+// NoiseParams configures the "noise" campaign. SketchPrec is the
+// quantile-sketch precision used when NullTrials exceeds
+// testbench.ExactNullCutoff and the null calibration streams (0 picks
+// stat.DefaultSketchPrecision); below the cutoff it is unused.
 type NoiseParams struct {
 	Sigma      float64   `json:"sigma"`
 	Devs       []float64 `json:"devs"`
 	NullTrials int       `json:"null_trials"`
 	Trials     int       `json:"trials"`
+	SketchPrec int       `json:"sketch_prec,omitempty"`
 }
 
 // Validate bounds the noise campaign's trial knobs.
@@ -87,19 +92,34 @@ func (p *NoiseParams) Validate() error {
 	if p.Sigma < 0 {
 		return fmt.Errorf("negative sigma %v", p.Sigma)
 	}
-	return nil
+	return validateSketchPrec(p.SketchPrec)
 }
 
-// NoiseSweepParams configures the "noisesweep" campaign.
+// NoiseSweepParams configures the "noisesweep" campaign. SketchPrec is
+// as in NoiseParams, applied to each per-sigma null calibration.
 type NoiseSweepParams struct {
-	Sigmas  []float64 `json:"sigmas"`
-	DevGrid []float64 `json:"dev_grid"`
-	Trials  int       `json:"trials"`
+	Sigmas     []float64 `json:"sigmas"`
+	DevGrid    []float64 `json:"dev_grid"`
+	Trials     int       `json:"trials"`
+	SketchPrec int       `json:"sketch_prec,omitempty"`
 }
 
 // Validate bounds the sweep's per-point trial count.
 func (p *NoiseSweepParams) Validate() error {
-	return validateTrials("trials", p.Trials)
+	if err := validateTrials("trials", p.Trials); err != nil {
+		return err
+	}
+	return validateSketchPrec(p.SketchPrec)
+}
+
+// validateSketchPrec is the shared sketch-precision bound: 0 (use the
+// default) or a valid stat.NewQuantileSketch precision.
+func validateSketchPrec(prec int) error {
+	if prec != 0 && (prec < stat.MinSketchPrecision || prec > stat.MaxSketchPrecision) {
+		return fmt.Errorf("sketch_prec = %d, want 0 (default) or %d..%d",
+			prec, stat.MinSketchPrecision, stat.MaxSketchPrecision)
+	}
+	return nil
 }
 
 // FaultsParams configures the "faults" campaign. A nil Threshold
@@ -289,7 +309,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			return runNoiseDetection(ctx, sys, p.Sigma, p.Devs, p.NullTrials, p.Trials, ev.Seed(), ev.Engine())
+			return runNoiseDetection(ctx, sys, p.Sigma, p.Devs, p.NullTrials, p.Trials, p.SketchPrec, ev.Seed(), ev.Engine())
 		})
 
 	register("noisesweep", "minimum detectable deviation as a function of noise sigma",
@@ -299,7 +319,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			return runNoiseSweep(ctx, sys, p.Sigmas, p.DevGrid, p.Trials, ev.Seed(), ev.Engine())
+			return runNoiseSweep(ctx, sys, p.Sigmas, p.DevGrid, p.Trials, p.SketchPrec, ev.Seed(), ev.Engine())
 		})
 
 	register("faults", "component-level fault campaign (parametric drifts, opens, shorts)",

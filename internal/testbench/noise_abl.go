@@ -12,18 +12,26 @@ import (
 	"repro/internal/ndf"
 	"repro/internal/rng"
 	"repro/internal/signature"
+	"repro/internal/stat"
 )
 
 // Noise is the detection experiment behind the paper's claim that with
 // white noise of 3σ = 0.015 V, f0 deviations as small as 1% are
-// detectable.
+// detectable. Every rate carries a 95% Wilson score interval, so the
+// headline detection claims are CI-robust, not point estimates — the
+// same discipline the yield and fault campaigns already follow.
 type Noise struct {
 	Sigma     float64
 	Periods   int     // Lissajous periods averaged per measurement
 	Threshold float64 // null-calibrated acceptance threshold
 	Devs      []float64
 	Detect    []float64 // detection rate per deviation
-	FalseRate float64   // false-alarm rate of the threshold on fresh nulls
+	// DetectLo/DetectHi bound each detection rate with a 95% Wilson
+	// score interval.
+	DetectLo, DetectHi []float64
+	FalseRate          float64 // false-alarm rate of the threshold on fresh nulls
+	// FalseLo/FalseHi bound the false-alarm rate the same way.
+	FalseLo, FalseHi float64
 }
 
 // RunNoiseDetection calibrates the threshold on nullTrials noisy golden
@@ -46,13 +54,14 @@ func RunNoiseDetection(sys *core.System, sigma float64, devs []float64, nullTria
 // runNoiseDetection is the registry implementation behind
 // RunNoiseDetection. Every trial derives its private noise stream inside
 // the worker as a pure function of (seed, phase base + trial index) via
-// Engine.Stream — no serial stream pre-pass. The null calibration phase
-// must materialize its sample (the threshold is a quantile of the whole
-// distribution), but every rate-estimation phase is a pure count and
-// streams through the reduction engine with O(workers + chunk) memory,
-// which is what lets the detection rates sharpen with million-trial
-// specs.
-func runNoiseDetection(ctx context.Context, sys *core.System, sigma float64, devs []float64, nullTrials, trials int, seed uint64, eng campaign.Engine) (*Noise, error) {
+// Engine.Stream — no serial stream pre-pass. Every phase streams
+// through the reduction engine with O(workers + chunk) memory: the
+// rate-estimation phases as pure counts, the null calibration via
+// CalibrateNullThreshold (exact below ExactNullCutoff, pooled quantile
+// sketches above — bit-identical either way because the threshold is
+// the null maximum, which the sketch tracks exactly). Million-trial
+// specs therefore run flat-heap end to end.
+func runNoiseDetection(ctx context.Context, sys *core.System, sigma float64, devs []float64, nullTrials, trials, sketchPrec int, seed uint64, eng campaign.Engine) (*Noise, error) {
 	const periods = 5
 	eng.Seed = seed
 	// trialAt builds the per-trial measurement for one deviation: the
@@ -72,39 +81,38 @@ func runNoiseDetection(ctx context.Context, sys *core.System, sigma float64, dev
 	if err != nil {
 		return nil, err
 	}
-	nulls, err := campaign.RunScratch(ctx, eng, nullTrials, core.NewTrialScratch, nullTrial)
-	if err != nil {
-		return nil, err
-	}
-	dec, err := ndf.ThresholdFromNull(nulls, 1.0)
+	dec, err := CalibrateNullThreshold(ctx, eng, nullTrials, sketchPrec, nullTrial)
 	if err != nil {
 		return nil, err
 	}
 	out := &Noise{Sigma: sigma, Periods: periods, Threshold: dec.Threshold, Devs: devs}
-	// detectionRate streams one phase's trials through the reducer,
-	// counting threshold exceedances.
-	detectionRate := func(shift float64, base uint64) (float64, error) {
+	// detectCount streams one phase's trials through the reducer,
+	// counting threshold exceedances — the count feeds both the point
+	// rate and its Wilson interval.
+	detectCount := func(shift float64, base uint64) (int, error) {
 		trial, err := trialAt(shift, base)
 		if err != nil {
 			return 0, err
 		}
-		det, err := campaign.ReduceScratch(ctx, eng, trials,
+		return campaign.ReduceScratch(ctx, eng, trials,
 			detectReducer(dec), core.NewTrialScratch, trial)
-		if err != nil {
-			return 0, err
-		}
-		return float64(det) / float64(trials), nil
 	}
 	// Fresh nulls for the false-alarm estimate.
-	if out.FalseRate, err = detectionRate(0, phaseBase(1)); err != nil {
+	fa, err := detectCount(0, phaseBase(1))
+	if err != nil {
 		return nil, err
 	}
+	out.FalseRate = float64(fa) / float64(trials)
+	out.FalseLo, out.FalseHi = stat.Wilson(fa, trials, 0.95)
 	for di, d := range devs {
-		rate, err := detectionRate(d, phaseBase(2+di))
+		det, err := detectCount(d, phaseBase(2+di))
 		if err != nil {
 			return nil, err
 		}
-		out.Detect = append(out.Detect, rate)
+		out.Detect = append(out.Detect, float64(det)/float64(trials))
+		lo, hi := stat.Wilson(det, trials, 0.95)
+		out.DetectLo = append(out.DetectLo, lo)
+		out.DetectHi = append(out.DetectHi, hi)
 	}
 	return out, nil
 }
@@ -140,14 +148,16 @@ func streamAt(eng campaign.Engine, base uint64, i int) *rng.Stream {
 	return rng.NewSub(eng.Seed, base+uint64(i))
 }
 
-// Render summarizes the detection experiment.
+// Render summarizes the detection experiment, rates with their 95%
+// Wilson intervals.
 func (n *Noise) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "noise sigma = %.4f V (3σ = %.4f V), %d periods/measurement, threshold = %.4f, false-alarm = %.2f\n",
-		n.Sigma, 3*n.Sigma, n.Periods, n.Threshold, n.FalseRate)
-	b.WriteString("dev%   detection\n")
+	fmt.Fprintf(&b, "noise sigma = %.4f V (3σ = %.4f V), %d periods/measurement, threshold = %.4f, false-alarm = %.2f [%.2f, %.2f]\n",
+		n.Sigma, 3*n.Sigma, n.Periods, n.Threshold, n.FalseRate, n.FalseLo, n.FalseHi)
+	b.WriteString("dev%   detection  95% CI\n")
 	for i := range n.Devs {
-		fmt.Fprintf(&b, "%+5.1f  %.2f\n", n.Devs[i]*100, n.Detect[i])
+		fmt.Fprintf(&b, "%+5.1f  %.2f       [%.2f, %.2f]\n",
+			n.Devs[i]*100, n.Detect[i], n.DetectLo[i], n.DetectHi[i])
 	}
 	return b.String()
 }

@@ -1,0 +1,49 @@
+package repro
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/stat"
+	"repro/internal/testbench"
+)
+
+// STAT-SKETCH: the mergeable quantile sketch's per-observation cost —
+// the fold every streamed calibration pays once per trial. Warm pushes
+// are pinned zero-alloc (TestQuantileSketchPushZeroAlloc); the ns/op
+// here is the budget line for million-trial null calibrations.
+func BenchmarkQuantileSketchPush(b *testing.B) {
+	s := stat.NewQuantileSketch(stat.DefaultSketchPrecision)
+	s.Push(1)
+	s.Push(-1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Push(0.01 + float64(i&1023)*1e-4)
+	}
+	b.ReportMetric(float64(s.N()), "pushed")
+}
+
+// NOISE-CALIB-1M: the streamed null calibration at a million synthetic
+// trials — the path that used to materialize an O(trials) sample before
+// taking its quantile. The allocation column is the O(workers + chunk +
+// sketch) story: pooled per-chunk sketches hold total allocation flat
+// however many trials the spec names, pinned by
+// testbench.TestNoiseCalibrationFlatMemory.
+func BenchmarkNoiseNullCalibration(b *testing.B) {
+	ctx := context.Background()
+	trial := func(i int, _ *core.TrialScratch) (float64, error) {
+		return 0.01 + float64(i%9973)*1.3e-5, nil
+	}
+	b.ReportAllocs()
+	var thr float64
+	for i := 0; i < b.N; i++ {
+		dec, err := testbench.CalibrateNullThreshold(ctx, campaign.Engine{Workers: 4, Seed: 2}, 1_000_000, 0, trial)
+		if err != nil {
+			b.Fatal(err)
+		}
+		thr = dec.Threshold
+	}
+	b.ReportMetric(thr, "threshold")
+}
