@@ -5,10 +5,12 @@
 # violation invalidates everything downstream), then build, the
 # race-tested short suite, a one-iteration benchmark smoke pass over the
 # transient/campaign benchmarks (catches perf-path regressions that only
-# show up when the solver actually runs), and an mcserved smoke run that
+# show up when the solver actually runs), an mcserved smoke run that
 # boots the HTTP campaign service and drives one small campaign through
-# its own API. `make test` runs the full suite including the long
-# Monte-Carlo campaigns.
+# its own API, and a fabric smoke run that shards a campaign across two
+# HTTP workers and checks the merged result against the single-node
+# run. `make test` runs the full suite including the long Monte-Carlo
+# campaigns.
 
 GO ?= go
 GOFMT ?= gofmt
@@ -16,12 +18,12 @@ GOFMT ?= gofmt
 # Perf trajectory snapshot number: bump per PR (or override with
 # `make bench-json BENCH_N=7`) so BENCH_<N>.json files accumulate and
 # bench-diff always compares the two most recent.
-BENCH_N ?= 8
+BENCH_N ?= 9
 BENCH_PREV = $(shell expr $(BENCH_N) - 1)
 
-.PHONY: ci fmt vet lint lint-json build test race bench bench-json bench-smoke bench-diff fuzz-smoke serve-smoke
+.PHONY: ci fmt vet lint lint-json build test race bench bench-json bench-smoke bench-diff fuzz-smoke serve-smoke fabric-smoke
 
-ci: fmt lint build race bench-smoke serve-smoke
+ci: fmt lint build race bench-smoke serve-smoke fabric-smoke
 
 # gofmt gate: fail with the offending file list when any file is unformatted.
 fmt:
@@ -82,19 +84,22 @@ bench-diff:
 # Smoke gate: single-iteration run of the SPICE transient, the
 # SPICE-campaign (rebuild, template and batched trial engines), the
 # batched-signature-engine, the streaming-reduction, the
-# registry-dispatch and the streaming-statistics benchmarks (fast path,
-# Newton baseline, CUT output, trial templates, fault table, batched vs
-# scalar capture, Reduce vs Run, spec dispatch, sketch push, streamed
-# null calibration) — proves the hot paths still execute end to end.
+# registry-dispatch, the streaming-statistics and the
+# checkpoint-cadence benchmarks (fast path, Newton baseline, CUT
+# output, trial templates, fault table, batched vs scalar capture,
+# Reduce vs Run, spec dispatch, sketch push, streamed null calibration,
+# span reduction with/without a checkpoint sink) — proves the hot paths
+# still execute end to end.
 bench-smoke:
-	$(GO) test -bench='TransientTowThomas|SpiceCUT|SpiceTrialEngine|FaultTableSpice|SignatureCapture|AveragedNDF|BankClassify|RegistryDispatch|CampaignReduce1M|CampaignRun1M|QuantileSketchPush|NoiseNullCalibration' -benchtime=1x -run=^$$ .
+	$(GO) test -bench='TransientTowThomas|SpiceCUT|SpiceTrialEngine|FaultTableSpice|SignatureCapture|AveragedNDF|BankClassify|RegistryDispatch|CampaignReduce1M|CampaignRun1M|QuantileSketchPush|NoiseNullCalibration|CheckpointOverhead' -benchtime=1x -run=^$$ .
 
 # Short-budget fuzz pass over the SPICE netlist parser, the signature
-# binary decoder, the trial-template mutation engine and the streaming
-# statistics codecs (seed corpora are checked in under testdata/fuzz).
-# Each target gets 10s — enough to exercise the mutator on every seed
-# class without blowing the CI budget. `go test -fuzz` accepts one
-# target per invocation, hence the per-target runs.
+# binary decoder, the trial-template mutation engine, the streaming
+# statistics codecs, the fabric job-log replay and the shard accumulator
+# codecs (seed corpora are checked in under testdata/fuzz). Each target
+# gets 10s — enough to exercise the mutator on every seed class without
+# blowing the CI budget. `go test -fuzz` accepts one target per
+# invocation, hence the per-target runs.
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz='^FuzzParseValue$$' -fuzztime=10s ./internal/spice
 	$(GO) test -run=^$$ -fuzz='^FuzzParse$$' -fuzztime=10s ./internal/spice
@@ -102,8 +107,17 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz='^FuzzUnmarshalBinary$$' -fuzztime=10s ./internal/signature
 	$(GO) test -run=^$$ -fuzz='^FuzzQuantileSketchUnmarshal$$' -fuzztime=10s ./internal/stat
 	$(GO) test -run=^$$ -fuzz='^FuzzStreamingHistogramUnmarshal$$' -fuzztime=10s ./internal/stat
+	$(GO) test -run=^$$ -fuzz='^FuzzJobLogReplay$$' -fuzztime=10s ./internal/fabric
+	$(GO) test -run=^$$ -fuzz='^FuzzShardBlobUnmarshal$$' -fuzztime=10s ./internal/testbench
 
 # HTTP service smoke: boot mcserved on an ephemeral port and run one
 # small campaign through its own API (list, submit, poll, result).
 serve-smoke:
 	$(GO) run ./cmd/mcserved -smoke
+
+# Distributed-fabric smoke: coordinator + two in-process HTTP workers
+# run a sharded yield campaign with one deliberately dropped lease; the
+# merged result must be bit-identical to the single-node run and the
+# dropped shard must be re-leased after its TTL.
+fabric-smoke:
+	$(GO) run ./cmd/mcserved -fabric-smoke

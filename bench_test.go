@@ -7,7 +7,9 @@ package repro
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
+	"math"
 	"testing"
 
 	"repro/internal/biquad"
@@ -748,6 +750,59 @@ func BenchmarkCampaignRun1M(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(out)), "slots")
+}
+
+// ENGINE-CKPT: the durable fabric's checkpoint tax on the streaming
+// reduction — a million trivial trials through campaign.ReduceSpan with
+// no sink, with the default cadence (one serialized accumulator every
+// 65536 trials, the fabric's job-log append), and with an aggressively
+// short cadence. The off-vs-default gap is pinned < 5% by
+// TestCheckpointOverheadPinned; "default" is the benchdiff-pinned
+// variant.
+func BenchmarkCheckpointOverhead(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		cadence int
+		sink    bool
+	}{
+		{name: "off", cadence: 0, sink: false},
+		{name: "default", cadence: campaign.DefaultCheckpoint, sink: true},
+		{name: "cadence4096", cadence: 4096, sink: true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			ctx := context.Background()
+			e := campaign.Engine{Workers: 1, Checkpoint: bc.cadence}
+			span := campaign.Span{Lo: 0, Hi: 1_000_000}
+			var ckpt campaign.CheckpointFunc[float64]
+			var blobs, bytes int
+			if bc.sink {
+				ckpt = func(acc float64, through int) error {
+					// The per-checkpoint work a fabric worker pays: encode
+					// the accumulator and hand the blob to the store layer.
+					var buf [16]byte
+					binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(acc))
+					binary.LittleEndian.PutUint64(buf[8:], uint64(through))
+					blobs++
+					bytes += len(buf)
+					return nil
+				}
+			}
+			b.ReportAllocs()
+			var sum float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				sum, err = campaign.ReduceSpan(ctx, e, span, nil, ckpt, sumRed(), trivialTrial)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(sum, "sum")
+			if b.N > 0 {
+				b.ReportMetric(float64(blobs)/float64(b.N), "ckpts/op")
+			}
+			_ = bytes
+		})
+	}
 }
 
 // EXT-YIELD-STREAM: the streamed production-yield campaign at 10k dies

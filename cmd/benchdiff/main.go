@@ -28,9 +28,10 @@ import (
 // defaultPins are the hot-path benchmarks the repository treats as a
 // performance contract: the SPICE linear fast path, the per-trial SPICE
 // campaign unit and its template/batched trial engines, the batched
-// signature engine, the streaming reduction engine, and the streaming
-// statistics (quantile-sketch push and the streamed null calibration).
-const defaultPins = "TransientTowThomasLinear$|SpiceCUTOutput$|SpiceTrialEngine$|SpiceTrialEngineBatch$|FaultTableSpice$|SignatureCaptureBatched$|AveragedNDFBatched$|CampaignReduce1M$|BankClassifyBatch$|QuantileSketchPush$|NoiseNullCalibration$"
+// signature engine, the streaming reduction engine, the streaming
+// statistics (quantile-sketch push and the streamed null calibration),
+// and the span reduction checkpointing at the fabric's default cadence.
+const defaultPins = "TransientTowThomasLinear$|SpiceCUTOutput$|SpiceTrialEngine$|SpiceTrialEngineBatch$|FaultTableSpice$|SignatureCaptureBatched$|AveragedNDFBatched$|CampaignReduce1M$|BankClassifyBatch$|QuantileSketchPush$|NoiseNullCalibration$|CheckpointOverhead/default$"
 
 func main() {
 	var (

@@ -61,9 +61,17 @@ type Engine struct {
 	// only); <= 0 selects DefaultChunk. The chunk size is part of the
 	// result contract of a non-associative reduction: at a fixed chunk
 	// size the merged accumulator is bit-identical at any worker count,
-	// while different chunk sizes may group floating-point folds
+	// while different chunks may group floating-point folds
 	// differently. Run ignores it.
 	Chunk int
+	// Checkpoint is the trial count between checkpoint callbacks of a
+	// span reduction (ReduceSpanScratch with a CheckpointFunc); <= 0
+	// selects DefaultCheckpoint. It is rounded down to whole chunks
+	// (minimum one), so every checkpoint lands on a chunk boundary and a
+	// resumed run regroups nothing. Checkpointing observes a run but
+	// never affects its result, so the cadence — unlike Chunk — is not
+	// part of the reproducibility contract.
+	Checkpoint int
 }
 
 // Stream returns trial i's private random substream — a pure function of

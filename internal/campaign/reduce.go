@@ -2,9 +2,6 @@ package campaign
 
 import (
 	"context"
-	"errors"
-	"sync"
-	"sync/atomic"
 )
 
 // DefaultChunk is the trial count one reduction chunk covers when
@@ -59,201 +56,13 @@ func Reduce[T, A any](ctx context.Context, e Engine, n int, r Reducer[T, A], tri
 // RunScratch is to Run: newScratch runs once per worker and its value is
 // threaded into every trial that worker folds. Scratch must not affect
 // results.
+//
+// It is the span [0, n) of the durable span engine with no restored
+// state and no checkpoint sink — see ReduceSpanScratch for the
+// checkpoint/resume and sharding form.
 func ReduceScratch[T, A, S any](ctx context.Context, e Engine, n int, r Reducer[T, A], newScratch func() S, trial func(i int, scratch S) (T, error)) (A, error) {
-	var zero A
-	newAcc := r.New
-	if newAcc == nil {
-		newAcc = func() A { var a A; return a }
+	if n < 0 {
+		n = 0
 	}
-	if r.Fold == nil {
-		return zero, errors.New("campaign: Reduce needs a Fold function")
-	}
-	if n <= 0 {
-		return newAcc(), nil
-	}
-	if err := ctx.Err(); err != nil {
-		return zero, err
-	}
-	chunk := e.Chunk
-	if chunk <= 0 {
-		chunk = DefaultChunk
-	}
-	nChunks := (n + chunk - 1) / chunk
-	if nChunks > 1 && r.Merge == nil {
-		return zero, errors.New("campaign: Reduce spanning multiple chunks needs a Merge function")
-	}
-	// Progress is chunk-granular and strictly monotone: ticks are
-	// serialized under a mutex and delivered only when they advance the
-	// high-water mark, so an observer never sees the count decrease even
-	// when workers retire chunks out of order. One lock per chunk is
-	// noise next to a chunk's worth of trial work.
-	var done atomic.Int64
-	var progressMu sync.Mutex
-	reported := 0
-	tick := func(trials int) {
-		if trials == 0 {
-			return
-		}
-		d := int(done.Add(int64(trials)))
-		if e.Progress == nil {
-			return
-		}
-		progressMu.Lock()
-		defer progressMu.Unlock()
-		if d > reported {
-			reported = d
-			e.Progress(d, n)
-		}
-	}
-	// runChunk folds chunk c's trials in ascending index order into a
-	// fresh accumulator. On a trial error (or mid-chunk cancellation) it
-	// stops at that trial; the index of the failing trial is implicit in
-	// the error being the first of the chunk.
-	runChunk := func(c int, scratch S) (A, int, error) {
-		lo := c * chunk
-		hi := min(lo+chunk, n)
-		acc := newAcc()
-		for i := lo; i < hi; i++ {
-			if err := ctx.Err(); err != nil {
-				tick(i - lo)
-				return acc, i - lo, err
-			}
-			v, err := trial(i, scratch)
-			if err != nil {
-				tick(i - lo)
-				return acc, i - lo, err
-			}
-			acc = r.Fold(acc, i, v)
-		}
-		tick(hi - lo)
-		return acc, hi - lo, nil
-	}
-
-	workers := e.poolSize(nChunks)
-	if workers == 1 {
-		scratch := newScratch()
-		var global A
-		for c := 0; c < nChunks; c++ {
-			acc, _, err := runChunk(c, scratch)
-			if err != nil {
-				return zero, err
-			}
-			if c == 0 {
-				global = acc
-			} else {
-				global = r.Merge(global, acc)
-			}
-		}
-		return global, nil
-	}
-
-	// Parallel path. Chunks flow feeder -> workers -> merger; the merger
-	// folds them into the global accumulator in ascending chunk order. A
-	// token window bounds dispatched-but-unmerged chunks to 2*workers, so
-	// a slow chunk 0 cannot let faster workers pile up O(nChunks)
-	// accumulators — this is what keeps memory O(workers), not O(trials).
-	type chunkOut struct {
-		c   int
-		acc A
-		err error
-	}
-	window := 2 * workers
-	next := make(chan int)
-	results := make(chan chunkOut, window) // never blocks a worker: outstanding <= window
-	tokens := make(chan struct{}, window)
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			scratch := newScratch()
-			for c := range next {
-				// A cancelled context stops the work, not the drain: skip
-				// the chunk but keep consuming until the channel closes,
-				// and still report it so the merger's accounting closes.
-				if err := ctx.Err(); err != nil {
-					results <- chunkOut{c: c, err: err}
-					continue
-				}
-				acc, _, err := runChunk(c, scratch)
-				if err != nil {
-					// Real trial errors stop the feeder early; ctx errors
-					// are already handled by its Done branch.
-					failed.Store(true)
-				}
-				results <- chunkOut{c: c, acc: acc, err: err}
-			}
-		}()
-	}
-
-	var (
-		global     A
-		firstErr   error
-		mergerDone = make(chan struct{})
-	)
-	go func() {
-		defer close(mergerDone)
-		pending := make(map[int]chunkOut, window)
-		nextMerge := 0
-		for out := range results {
-			pending[out.c] = out
-			for {
-				o, ok := pending[nextMerge]
-				if !ok {
-					break
-				}
-				delete(pending, nextMerge)
-				<-tokens // chunk retired: let the feeder dispatch another
-				if firstErr == nil {
-					if o.err != nil {
-						// Ascending-order scan: the first error seen here is
-						// the lowest-index failing trial's.
-						firstErr = o.err
-					} else if nextMerge == 0 {
-						global = o.acc
-					} else {
-						global = r.Merge(global, o.acc)
-					}
-				}
-				nextMerge++
-			}
-		}
-	}()
-
-	cancelled := false
-feed:
-	for c := 0; c < nChunks; c++ {
-		if failed.Load() {
-			// Chunks are fed in ascending order, so everything that could
-			// hold a lower-index error is already in flight.
-			break
-		}
-		select {
-		case tokens <- struct{}{}:
-		case <-ctx.Done():
-			cancelled = true
-			break feed
-		}
-		select {
-		case next <- c:
-		case <-ctx.Done():
-			cancelled = true
-			// Unwind the token the undispatched chunk held so the merger's
-			// token accounting stays balanced.
-			<-tokens
-			break feed
-		}
-	}
-	close(next)
-	wg.Wait()
-	close(results)
-	<-mergerDone
-	if cancelled || ctx.Err() != nil {
-		return zero, ctx.Err()
-	}
-	if firstErr != nil {
-		return zero, firstErr
-	}
-	return global, nil
+	return ReduceSpanScratch(ctx, e, Span{Lo: 0, Hi: n}, nil, nil, r, newScratch, trial)
 }

@@ -1,0 +1,79 @@
+// Package fabric is the distributed campaign fabric: durable jobs,
+// checkpoint/resume, and sharded execution across mcserved instances.
+//
+// It layers three pieces on the streaming campaign engine:
+//
+//   - a durable job Store (store.go): every job lives in its own
+//     directory as an immutable job.json, an append-only JSON log of
+//     checkpoints and shard completions, and a compacted snapshot, so a
+//     killed process reopens the store and resumes from the last
+//     checkpoint instead of trial 0. Every write error surfaces — a
+//     checkpoint that cannot be persisted fails the run.
+//   - a Coordinator (coordinator.go): splits a campaign spec into
+//     contiguous chunk-aligned trial spans, leases them to workers with
+//     a TTL, requeues expired leases from their last reported
+//     checkpoint, and merges per-shard accumulator blobs in shard-index
+//     order once all spans complete.
+//   - a Worker (worker.go): pulls leases from a Backend — the
+//     Coordinator directly in-process, or an HTTP client against a
+//     remote coordinator — runs each span through the campaign's
+//     sharded form, heartbeats while it works, and reports the span's
+//     accumulator blob.
+//
+// Bit-identity is the design invariant: trials derive their randomness
+// as pure functions of (seed, trial index), checkpoints land only on
+// chunk boundaries, and shard accumulators merge with the exactly
+// associative merges the shardable campaigns use — so a resumed,
+// sharded, or twice-interrupted run finalizes to the same bits as an
+// uninterrupted single-node one.
+package fabric
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/testbench"
+)
+
+// CompileFunc resolves a campaign spec into its sharded executable
+// form. The default is testbench.Sharder; tests inject synthetic
+// campaigns through it.
+type CompileFunc func(ctx context.Context, spec testbench.Spec) (*testbench.ShardRun, error)
+
+// defaultCompile adapts testbench.Sharder to CompileFunc.
+func defaultCompile(ctx context.Context, spec testbench.Spec) (*testbench.ShardRun, error) {
+	return testbench.Sharder(ctx, spec)
+}
+
+// Config assembles a Coordinator.
+type Config struct {
+	// Store persists jobs; required.
+	Store *Store
+	// Compile resolves specs to their sharded form; nil selects
+	// testbench.Sharder.
+	Compile CompileFunc
+	// LeaseTTL is how long a leased shard stays assigned without a
+	// heartbeat before it is requeued; <= 0 selects DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// Now is the clock, injectable so lease-expiry tests need no real
+	// waiting; nil selects time.Now.
+	Now func() time.Time
+}
+
+// DefaultLeaseTTL is the lease lifetime when Config.LeaseTTL is unset:
+// long enough that a loaded worker heartbeating at TTL/3 never loses a
+// live shard, short enough that a crashed worker's span requeues
+// promptly.
+const DefaultLeaseTTL = 30 * time.Second
+
+// Errors the coordinator surfaces to workers and callers. A worker
+// treats ErrLeaseRevoked and ErrUnknownLease as a signal to stop its
+// span immediately — that is the cancellation path coordinator → lease
+// → worker ctx.
+var (
+	ErrUnknownJob   = errors.New("fabric: unknown job")
+	ErrUnknownLease = errors.New("fabric: unknown or superseded lease")
+	ErrLeaseRevoked = errors.New("fabric: lease revoked")
+	ErrJobDone      = errors.New("fabric: job already terminal")
+)

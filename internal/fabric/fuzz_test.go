@@ -1,0 +1,40 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+// FuzzJobLogReplay feeds arbitrary bytes through the job-log replay
+// path. The invariants: replay never panics, and whenever it accepts a
+// log the resulting state still satisfies every plan constraint the
+// store would enforce on a reopen — spans matching the plan, progress
+// inside its span, monotone, never past a completed shard. A log the
+// appender could not have produced must be rejected, not folded into
+// fabricated resume state.
+func FuzzJobLogReplay(f *testing.F) {
+	plan := []campaign.Span{{Lo: 0, Hi: 400}, {Lo: 400, Hi: 700}, {Lo: 700, Hi: 1000}}
+	f.Add([]byte(`{"kind":"checkpoint","shard":0,"through":200,"acc":"YQ=="}` + "\n"))
+	f.Add([]byte(`{"kind":"checkpoint","shard":0,"through":200,"acc":"YQ=="}` + "\n" +
+		`{"kind":"shard_done","shard":0,"acc":"Yg=="}` + "\n" +
+		`{"kind":"shard_done","shard":1,"acc":"Yw=="}` + "\n" +
+		`{"kind":"shard_done","shard":2,"acc":"ZA=="}` + "\n" +
+		`{"kind":"done"}` + "\n"))
+	f.Add([]byte(`{"kind":"failed","msg":"trial 512: solver diverged"}` + "\n"))
+	f.Add([]byte(`{"kind":"cancelled"}` + "\n"))
+	f.Add([]byte(`{"kind":"checkpoint","shard":0,"through":200,"acc":"YQ=="}` + "\n" +
+		`{"kind":"checkpoint","shard":0,"thr`)) // torn tail: must be ignored
+	f.Add([]byte(`{"kind":"promote"}` + "\n"))
+	f.Add([]byte("not json\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st := freshState(plan)
+		if err := replayLog(&st, data); err != nil {
+			return
+		}
+		if err := checkStateAgainstPlan(&st, plan); err != nil {
+			t.Fatalf("replay accepted a log that breaks the plan contract: %v", err)
+		}
+	})
+}

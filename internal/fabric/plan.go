@@ -1,0 +1,44 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/campaign"
+)
+
+// PlanShards partitions [0, trials) into at most shards contiguous
+// spans with every boundary on a chunk multiple (chunk <= 0 selects
+// campaign.DefaultChunk). Chunk alignment is what makes the partition
+// invisible to the reduction: each shard folds exactly the chunks the
+// single-node run would, so shard accumulators merge bit-identically to
+// the single-node chunk chain. Chunks are dealt out as evenly as
+// possible, earlier shards taking the remainder; fewer chunks than
+// shards yields fewer shards.
+func PlanShards(trials, shards, chunk int) ([]campaign.Span, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("fabric: plan over %d trials", trials)
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("fabric: plan with %d shards", shards)
+	}
+	if chunk <= 0 {
+		chunk = campaign.DefaultChunk
+	}
+	nChunks := (trials + chunk - 1) / chunk
+	if shards > nChunks {
+		shards = nChunks
+	}
+	per, extra := nChunks/shards, nChunks%shards
+	plan := make([]campaign.Span, 0, shards)
+	at := 0
+	for s := 0; s < shards; s++ {
+		n := per
+		if s < extra {
+			n++
+		}
+		hi := min(at+n*chunk, trials)
+		plan = append(plan, campaign.Span{Lo: at, Hi: hi})
+		at = hi
+	}
+	return plan, nil
+}

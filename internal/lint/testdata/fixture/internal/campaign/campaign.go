@@ -52,3 +52,37 @@ func Reduce[T, A any](ctx context.Context, eng Engine, n int, r Reducer[T, A], t
 	}
 	return acc, nil
 }
+
+// Span mirrors the real engine's half-open trial range.
+type Span struct {
+	Lo, Hi int
+}
+
+// CheckpointFunc mirrors the real engine's durable-checkpoint sink.
+type CheckpointFunc[A any] func(acc A, through int) error
+
+// ReduceSpan mirrors the fabric's worker entry point: the span
+// reduction with an optional checkpoint sink. Like Run and Reduce it
+// only needs to type-check.
+func ReduceSpan[T, A any](ctx context.Context, eng Engine, span Span, init *A, ckpt CheckpointFunc[A], r Reducer[T, A], trial func(i int) (T, error)) (A, error) {
+	acc := r.New()
+	if init != nil {
+		acc = *init
+	}
+	for i := span.Lo; i < span.Hi; i++ {
+		if err := ctx.Err(); err != nil {
+			return acc, err
+		}
+		v, err := trial(i)
+		if err != nil {
+			return acc, err
+		}
+		acc = r.Fold(acc, i, v)
+		if ckpt != nil {
+			if err := ckpt(acc, i+1); err != nil {
+				return acc, err
+			}
+		}
+	}
+	return acc, nil
+}

@@ -1,0 +1,61 @@
+// Package store carries the distributed-fabric fixtures: durable-store
+// writes whose errors must surface (a dropped append is a checkpoint
+// that silently never happened), and lease loops that must stay
+// cancellable all the way into the span reduction.
+package store
+
+import (
+	"context"
+	"os"
+
+	"fixture/internal/campaign"
+)
+
+// Append drops both failure signals of a durable job-log append: the
+// write and the sync. A fabric that loses either resumes from state it
+// never persisted.
+func Append(f *os.File, rec []byte) {
+	f.Write(rec) // want:errdrop
+	f.Sync()     // want:errdrop
+}
+
+// AppendDurable is the compliant shape: every byte is either on disk or
+// an error in the caller's hands.
+func AppendDurable(f *os.File, rec []byte) error {
+	if _, err := f.Write(rec); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Watch fires a lease heartbeat and walks away from the verdict — the
+// one error that tells a worker its shard was revoked.
+func Watch(heartbeat func() error) {
+	go heartbeat() // want:errdrop
+}
+
+// LeaseLoop runs a leased shard on a root context it minted itself, so
+// a lease revocation can never stop the trials.
+func LeaseLoop(n int) (int, error) { // want:ctxflow
+	ctx := context.Background() // want:ctxflow
+	return campaign.ReduceSpan(ctx, campaign.Engine{}, campaign.Span{Hi: n}, nil, nil,
+		campaign.Reducer[int, int]{
+			New:   func() int { return 0 },
+			Fold:  func(acc, _, v int) int { return acc + v },
+			Merge: func(into, next int) int { return into + next },
+		},
+		func(i int) (int, error) { return i, nil })
+}
+
+// RunLease is the compliant worker shape: the coordinator's context
+// reaches the span reduction, so revoking the lease cancels the shard
+// within a chunk.
+func RunLease(ctx context.Context, span campaign.Span, ckpt campaign.CheckpointFunc[int]) (int, error) {
+	return campaign.ReduceSpan(ctx, campaign.Engine{}, span, nil, ckpt,
+		campaign.Reducer[int, int]{
+			New:   func() int { return 0 },
+			Fold:  func(acc, _, v int) int { return acc + v },
+			Merge: func(into, next int) int { return into + next },
+		},
+		func(i int) (int, error) { return i, nil })
+}

@@ -177,28 +177,12 @@ func (b *Bank) MCEnvelopeCtx(ctx context.Context, mi int, variation mos.Variatio
 		xs[i] = float64(i) / float64(nCols-1)
 	}
 	eng.Seed = seed
-	// The accumulator is the envelope itself: per-column boundary values
-	// in die order. Fold appends one die's crossings; Merge concatenates
-	// chunks column-wise — chunk order is die order, so the merged
-	// envelope matches a serial run bit for bit.
+	// The reduction is the checkpointable envelope fold (envelope.go):
+	// per-column boundary values appended in die order, chunks
+	// concatenated column-wise, so the merged envelope matches a serial
+	// run bit for bit.
 	ys, err = campaign.Reduce(ctx, eng, nDies,
-		campaign.Reducer[[]float64, [][]float64]{
-			New: func() [][]float64 { return make([][]float64, nCols) },
-			Fold: func(acc [][]float64, _ int, col []float64) [][]float64 {
-				for i, y := range col {
-					if !math.IsNaN(y) {
-						acc[i] = append(acc[i], y)
-					}
-				}
-				return acc
-			},
-			Merge: func(into, next [][]float64) [][]float64 {
-				for i := range into {
-					into[i] = append(into[i], next[i]...)
-				}
-				return into
-			},
-		},
+		envelopeReducer(nCols).Reducer,
 		func(d int) ([]float64, error) {
 			die := variation.SampleDie(eng.Stream(d))
 			devs := a.Devices()

@@ -1,0 +1,73 @@
+package monitor
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestEnvelopeBlobRoundTrip(t *testing.T) {
+	red := envelopeReducer(3)
+	for _, acc := range [][][]float64{
+		make([][]float64, 3),
+		{{0.25, 0.5}, nil, {1.0}},
+		{{-1.5, 2.25, 3.125}, {0}, {7.75, -0.0625}},
+	} {
+		blob, err := red.Marshal(acc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := red.Unmarshal(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(acc) {
+			t.Fatalf("round trip %d columns -> %d", len(acc), len(got))
+		}
+		for i := range got {
+			if len(got[i]) != len(acc[i]) {
+				t.Fatalf("column %d: %d values -> %d", i, len(acc[i]), len(got[i]))
+			}
+			for j := range got[i] {
+				if got[i][j] != acc[i][j] {
+					t.Fatalf("column %d value %d: %v -> %v", i, j, acc[i][j], got[i][j])
+				}
+			}
+		}
+		blob2, err := red.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(blob, blob2) {
+			t.Fatal("non-canonical envelope encoding")
+		}
+	}
+}
+
+func TestEnvelopeBlobRejectsMalformed(t *testing.T) {
+	red := envelopeReducer(2)
+	good, err := red.Marshal([][]float64{{1.5}, {2.5, 3.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongCols, err := envelopeReducer(3).Marshal(make([][]float64, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]byte{
+		nil,
+		[]byte("MC"),
+		[]byte("XXXX\x02"),
+		[]byte("MCE1"),           // truncated column count
+		[]byte("MCE1\x02\xff"),   // truncated column length varint
+		[]byte("MCE1\x02\x09"),   // column claims values beyond the data
+		good[:len(good)-1],       // truncated float
+		append(good[:4:4], 0xff), // bad uvarint
+		append(bytes.Clone(good), 0),
+		wrongCols,
+	}
+	for i, data := range bad {
+		if _, err := red.Unmarshal(data); err == nil {
+			t.Errorf("case %d: malformed blob accepted", i)
+		}
+	}
+}

@@ -124,39 +124,34 @@ func RunFaultTable(sys *core.System, dec ndf.Decision, faults []biquad.Fault) (*
 	}, WithSystem(sys))
 }
 
-// runFaultTable is the registry implementation behind RunFaultTable. The
-// fault injections stream through the campaign reduction engine: each
-// chunk folds its cases into an ordered slice and chunks concatenate in
-// index order, so the table rows stay in fault order at any worker
-// count while the engine's memory stays O(workers + chunk).
-func runFaultTable(ctx context.Context, sys *core.System, dec ndf.Decision, faults []biquad.Fault, eng campaign.Engine) (*FaultTable, error) {
-	// Materialize the golden signature before fan-out so the sync.Once
-	// does not serialize the workers.
+// faultTrial builds the per-fault trial function of the fault campaign:
+// inject fault i, test the faulty circuit, record the scored case. The
+// golden signature is materialized here, before fan-out, so the
+// sync.Once does not serialize the workers; each case depends only on
+// its fault index, so any contiguous range replays exactly.
+func faultTrial(sys *core.System, dec ndf.Decision, faults []biquad.Fault) (func(i int, sc *core.TrialScratch) (FaultCase, error), error) {
 	if _, err := sys.GoldenSignature(); err != nil {
 		return nil, err
 	}
-	cases, err := campaign.ReduceScratch(ctx, eng, len(faults),
-		campaign.Reducer[FaultCase, []FaultCase]{
-			Fold:  func(acc []FaultCase, _ int, c FaultCase) []FaultCase { return append(acc, c) },
-			Merge: func(into, next []FaultCase) []FaultCase { return append(into, next...) },
-		},
-		core.NewTrialScratch,
-		func(i int, sc *core.TrialScratch) (FaultCase, error) {
-			f := faults[i]
-			cut, err := sys.Deviated(core.Deviation{Fault: &f})
-			if err != nil {
-				return FaultCase{}, fmt.Errorf("testbench: fault %s: %w", f, err)
-			}
-			v, err := sys.NDFOfScratch(cut, sc)
-			if err != nil {
-				return FaultCase{}, fmt.Errorf("testbench: fault %s: %w", f, err)
-			}
-			return FaultCase{Fault: f, Params: cut.Params(), NDF: v, Detected: !dec.Pass(v)}, nil
-		})
-	if err != nil {
-		return nil, err
-	}
-	out := &FaultTable{Threshold: dec.Threshold, Cases: cases}
+	return func(i int, sc *core.TrialScratch) (FaultCase, error) {
+		f := faults[i]
+		cut, err := sys.Deviated(core.Deviation{Fault: &f})
+		if err != nil {
+			return FaultCase{}, fmt.Errorf("testbench: fault %s: %w", f, err)
+		}
+		v, err := sys.NDFOfScratch(cut, sc)
+		if err != nil {
+			return FaultCase{}, fmt.Errorf("testbench: fault %s: %w", f, err)
+		}
+		return FaultCase{Fault: f, Params: cut.Params(), NDF: v, Detected: !dec.Pass(v)}, nil
+	}, nil
+}
+
+// finalizeFaultTable scores the ordered case list into the published
+// table with its Clopper-Pearson coverage interval — shared by the
+// in-process run and the fabric's merge-on-complete path.
+func finalizeFaultTable(threshold float64, cases []FaultCase) *FaultTable {
+	out := &FaultTable{Threshold: threshold, Cases: cases}
 	if n := len(cases); n > 0 {
 		detected := 0
 		for _, c := range cases {
@@ -166,7 +161,24 @@ func runFaultTable(ctx context.Context, sys *core.System, dec ndf.Decision, faul
 		}
 		out.CoverageLo, out.CoverageHi = stat.ClopperPearson(detected, n, 0.95)
 	}
-	return out, nil
+	return out
+}
+
+// runFaultTable is the registry implementation behind RunFaultTable. The
+// fault injections stream through the campaign reduction engine: each
+// chunk folds its cases into an ordered slice and chunks concatenate in
+// index order, so the table rows stay in fault order at any worker
+// count while the engine's memory stays O(workers + chunk).
+func runFaultTable(ctx context.Context, sys *core.System, dec ndf.Decision, faults []biquad.Fault, eng campaign.Engine) (*FaultTable, error) {
+	trial, err := faultTrial(sys, dec, faults)
+	if err != nil {
+		return nil, err
+	}
+	cases, err := campaign.ReduceScratch(ctx, eng, len(faults), faultReducer().Reducer, core.NewTrialScratch, trial)
+	if err != nil {
+		return nil, err
+	}
+	return finalizeFaultTable(dec.Threshold, cases), nil
 }
 
 // Coverage returns the fraction of faults detected.

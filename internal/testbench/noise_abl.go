@@ -95,7 +95,7 @@ func runNoiseDetection(ctx context.Context, sys *core.System, sigma float64, dev
 			return 0, err
 		}
 		return campaign.ReduceScratch(ctx, eng, trials,
-			detectReducer(dec), core.NewTrialScratch, trial)
+			detectReducer(dec).Reducer, core.NewTrialScratch, trial)
 	}
 	// Fresh nulls for the false-alarm estimate.
 	fa, err := detectCount(0, phaseBase(1))
@@ -124,22 +124,6 @@ func runNoiseDetection(ctx context.Context, sys *core.System, sigma float64, dev
 // silently correlate their estimates. A 2^32 stride keeps phases
 // disjoint for any trial count up to MaxTrials (1e8 < 2^32).
 func phaseBase(p int) uint64 { return uint64(p) << 32 }
-
-// detectReducer counts trials whose averaged NDF fails the decision —
-// the accumulator shape every detection-rate phase shares. Integer
-// merges are exact, so the streamed count is bit-identical to the
-// materialized one at any chunk size and worker count.
-func detectReducer(dec ndf.Decision) campaign.Reducer[float64, int] {
-	return campaign.Reducer[float64, int]{
-		Fold: func(acc int, _ int, v float64) int {
-			if !dec.Pass(v) {
-				acc++
-			}
-			return acc
-		},
-		Merge: func(into, next int) int { return into + next },
-	}
-}
 
 // streamAt derives the trial stream for a phase with its own id base —
 // a pure function of (engine seed, base + i), safe to call from inside

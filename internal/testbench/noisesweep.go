@@ -98,7 +98,7 @@ func runNoiseSweep(ctx context.Context, sys *core.System, sigmas, devGrid []floa
 				return nil, err
 			}
 			det, err := campaign.ReduceScratch(ctx, eng, trials,
-				detectReducer(dec), core.NewTrialScratch, trial)
+				detectReducer(dec).Reducer, core.NewTrialScratch, trial)
 			if err != nil {
 				return nil, err
 			}

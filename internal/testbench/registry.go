@@ -227,6 +227,9 @@ func Validate(spec Spec) error {
 	if spec.Chunk < 0 {
 		return fmt.Errorf("testbench: campaign %s: negative chunk %d", spec.Campaign, spec.Chunk)
 	}
+	if spec.Checkpoint < 0 {
+		return fmt.Errorf("testbench: campaign %s: negative checkpoint %d", spec.Campaign, spec.Checkpoint)
+	}
 	params := def.newParams()
 	if err := decodeParams(spec.Params, params); err != nil {
 		return fmt.Errorf("testbench: campaign %s: bad params: %w", spec.Campaign, err)

@@ -1,0 +1,216 @@
+package testbench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/ndf"
+)
+
+// CheckpointSink receives one durable checkpoint of a sharded campaign
+// run: the marshaled accumulator covering every trial of the run's span
+// below through (always a chunk boundary). A non-nil error aborts the
+// run — a checkpoint that cannot be persisted is a failure, not a
+// warning.
+type CheckpointSink func(acc []byte, through int) error
+
+// ShardRun is the compiled, sharded form of one campaign spec — the
+// surface the distributed fabric drives. Accumulator state crosses its
+// boundary only as canonical blobs (the campaign's CheckpointReducer
+// codec), so the same ShardRun serves three execution shapes: a durable
+// single-node run (full span, checkpoints to the job store), a resumed
+// run (init from the last checkpoint), and a leased shard on a worker
+// (sub-span, blob reported back to the coordinator).
+//
+// Bit-identity: a span's blob depends only on (spec, span) — trials
+// derive their randomness as pure functions of (seed, trial index) —
+// and shard blobs Merge in span order with the exactly associative
+// merges these campaigns use, so any chunk-aligned partition of
+// [0, Trials) reproduces the single-node accumulator bit for bit.
+type ShardRun struct {
+	// Spec is the effective spec (knobs resolved, typed default-filled
+	// params) — what a durable job records to reproduce the run.
+	Spec Spec
+	// Trials is the campaign's total trial count; shard plans partition
+	// [0, Trials).
+	Trials int
+	// Run reduces one contiguous trial span, starting from the restored
+	// accumulator blob init (nil or empty = fresh) and invoking sink, when
+	// non-nil, at the engine's checkpoint cadence. It returns the span's
+	// accumulator blob.
+	Run func(ctx context.Context, span campaign.Span, init []byte, sink CheckpointSink) ([]byte, error)
+	// Merge combines two adjacent accumulator blobs in span order.
+	Merge func(into, next []byte) ([]byte, error)
+	// Finalize turns the full-range accumulator blob into the campaign's
+	// Result envelope (Elapsed is the caller's to fill in — the fabric
+	// owns the wall clock of a distributed run).
+	Finalize func(acc []byte) (*Result, error)
+}
+
+// shardBuilders maps campaign name to the builder of its sharded form.
+// A campaign qualifies when it is a single trial fan-out whose
+// accumulator merges exactly associatively — integer counts, ordered
+// concatenation — so per-shard blobs merge bit-identically to the
+// single-node chunk chain. Populated from init only, read-only after.
+var shardBuilders = map[string]func(ctx context.Context, ev *Env, spec Spec, params any) (*ShardRun, error){}
+
+func init() {
+	shardBuilders["yield"] = buildYieldShard
+	shardBuilders["faults"] = buildFaultShard
+}
+
+// Shardable reports whether the named campaign has a sharded form.
+func Shardable(name string) bool {
+	_, ok := shardBuilders[name]
+	return ok
+}
+
+// ShardableNames lists the campaigns with a sharded form, sorted.
+func ShardableNames() []string {
+	names := make([]string, 0, len(shardBuilders))
+	for name := range shardBuilders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Sharder compiles a spec into its sharded executable form. It shares
+// Run's spec resolution — lookup, params decoding and validation, knob
+// bounds — so the fabric accepts exactly the specs the in-process path
+// does, then resolves the campaign's system and decision once; the
+// returned ShardRun's closures are safe for repeated spans under one
+// process. Cancelling ctx aborts the compilation's calibration phase.
+func Sharder(ctx context.Context, spec Spec, opts ...Option) (*ShardRun, error) {
+	build, ok := shardBuilders[spec.Campaign]
+	if !ok {
+		return nil, fmt.Errorf("testbench: campaign %q is not shardable (shardable: %s)",
+			spec.Campaign, strings.Join(ShardableNames(), ", "))
+	}
+	_, ev, eff, params, err := compile(spec, opts...)
+	if err != nil {
+		return nil, err
+	}
+	run, err := build(ctx, ev, eff, params)
+	if err != nil {
+		return nil, fmt.Errorf("testbench: campaign %s: %w", spec.Campaign, err)
+	}
+	return run, nil
+}
+
+// buildYieldShard compiles the yield campaign: threshold calibration is
+// deterministic (corner NDFs of the resolved system), so coordinator
+// and every worker arrive at the same decision independently.
+func buildYieldShard(ctx context.Context, ev *Env, spec Spec, params any) (*ShardRun, error) {
+	p := params.(*YieldParams)
+	sys, err := ev.System()
+	if err != nil {
+		return nil, err
+	}
+	var dec ndf.Decision
+	if p.Threshold != nil {
+		dec.Threshold = *p.Threshold
+	} else if dec, err = calibrateMultiParam(ctx, sys, p.Tol); err != nil {
+		return nil, err
+	}
+	trial, err := yieldTrial(sys, dec, p.ComponentSigma, p.Tol, ev.Engine())
+	if err != nil {
+		return nil, err
+	}
+	return shardExec(ev, spec, p.N, yieldReducer(), trial, func(c yieldCounts) any {
+		return finalizeYield(c, p.N, p.ComponentSigma, p.Tol, dec.Threshold)
+	}), nil
+}
+
+// buildFaultShard compiles the component-fault campaign; the trial space
+// is the fault list, one case per index.
+func buildFaultShard(ctx context.Context, ev *Env, spec Spec, params any) (*ShardRun, error) {
+	p := params.(*FaultsParams)
+	dec, err := decision(ctx, ev, p.Threshold, p.Tol)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := ev.System()
+	if err != nil {
+		return nil, err
+	}
+	faults := p.Faults
+	if len(faults) == 0 {
+		faults = DefaultFaultSet()
+	}
+	trial, err := faultTrial(sys, dec, faults)
+	if err != nil {
+		return nil, err
+	}
+	return shardExec(ev, spec, len(faults), faultReducer(), trial, func(cases []FaultCase) any {
+		return finalizeFaultTable(dec.Threshold, cases)
+	}), nil
+}
+
+// shardExec bridges a typed CheckpointReducer to the blob-level ShardRun
+// surface: spans run through campaign.ReduceSpanScratch with the codec
+// applied at the boundary, merges and finalization unmarshal first and
+// remarshal after.
+func shardExec[T, A any](ev *Env, spec Spec, n int, red campaign.CheckpointReducer[T, A], trial func(i int, sc *core.TrialScratch) (T, error), finalize func(acc A) any) *ShardRun {
+	eng := ev.Engine()
+	return &ShardRun{
+		Spec:   spec,
+		Trials: n,
+		Run: func(ctx context.Context, span campaign.Span, init []byte, sink CheckpointSink) ([]byte, error) {
+			if span.Lo < 0 || span.Hi < span.Lo || span.Hi > n {
+				return nil, fmt.Errorf("span [%d, %d) outside the %d-trial campaign", span.Lo, span.Hi, n)
+			}
+			var initAcc *A
+			if len(init) > 0 {
+				a, err := red.Unmarshal(init)
+				if err != nil {
+					return nil, err
+				}
+				initAcc = &a
+			}
+			var ckpt campaign.CheckpointFunc[A]
+			if sink != nil {
+				ckpt = func(acc A, through int) error {
+					blob, err := red.Marshal(acc)
+					if err != nil {
+						return err
+					}
+					return sink(blob, through)
+				}
+			}
+			acc, err := campaign.ReduceSpanScratch(ctx, eng, span, initAcc, ckpt, red.Reducer, core.NewTrialScratch, trial)
+			if err != nil {
+				return nil, err
+			}
+			return red.Marshal(acc)
+		},
+		Merge: func(into, next []byte) ([]byte, error) {
+			a, err := red.Unmarshal(into)
+			if err != nil {
+				return nil, err
+			}
+			b, err := red.Unmarshal(next)
+			if err != nil {
+				return nil, err
+			}
+			return red.Marshal(red.Reducer.Merge(a, b))
+		},
+		Finalize: func(blob []byte) (*Result, error) {
+			acc, err := red.Unmarshal(blob)
+			if err != nil {
+				return nil, err
+			}
+			payload := finalize(acc)
+			return &Result{
+				Spec:    spec,
+				Payload: payload,
+				Text:    renderText(payload),
+				Workers: ev.workers,
+			}, nil
+		},
+	}
+}

@@ -32,6 +32,12 @@ type Spec struct {
 	// reduction groups floating-point folds by chunk; at any fixed chunk
 	// the result is still bit-identical at every worker count.
 	Chunk int `json:"chunk,omitempty"`
+	// Checkpoint is the trial count between durable checkpoints when the
+	// campaign runs under the fabric (0 = campaign.DefaultCheckpoint).
+	// Checkpointing observes a run but never changes its result, so —
+	// unlike Chunk — the cadence is not part of the reproducibility
+	// contract; it only bounds how much work a killed run replays.
+	Checkpoint int `json:"checkpoint,omitempty"`
 	// Scalar disables the batched signature engine and runs the retained
 	// per-tick scalar pipeline (bit-identical, slower) — the knob the
 	// engine-agreement studies flip.
@@ -139,33 +145,43 @@ func (ev *Env) System() (*core.System, error) {
 // the resolved worker bound, the spec seed, the chunk size, and the
 // progress sink.
 func (ev *Env) Engine() campaign.Engine {
-	return campaign.Engine{Workers: ev.workers, Seed: ev.spec.Seed, Chunk: ev.spec.Chunk, Progress: ev.progress}
+	return campaign.Engine{
+		Workers:    ev.workers,
+		Seed:       ev.spec.Seed,
+		Chunk:      ev.spec.Chunk,
+		Checkpoint: ev.spec.Checkpoint,
+		Progress:   ev.progress,
+	}
 }
 
 // Seed returns the spec's root seed.
 func (ev *Env) Seed() uint64 { return ev.spec.Seed }
 
-// Run executes the campaign a spec names through the registry and wraps
-// its payload in the uniform Result envelope. Cancelling ctx aborts the
-// campaign within one trial's latency (the run returns ctx's error). All
-// legacy Run* entry points are thin wrappers over this function.
-func Run(ctx context.Context, spec Spec, opts ...Option) (*Result, error) {
+// compile resolves a spec against the registry into its definition, its
+// execution environment, the effective spec (knobs resolved, Params
+// replaced by the typed default-filled struct), and the typed params —
+// the preparation Run and Sharder share, so the programmatic, HTTP and
+// fabric paths cannot drift in what they accept.
+func compile(spec Spec, opts ...Option) (*campaignDef, *Env, Spec, any, error) {
 	def, err := lookup(spec.Campaign)
 	if err != nil {
-		return nil, err
+		return nil, nil, Spec{}, nil, err
 	}
 	params := def.newParams()
 	if err := decodeParams(spec.Params, params); err != nil {
-		return nil, fmt.Errorf("testbench: campaign %s: bad params: %w", spec.Campaign, err)
+		return nil, nil, Spec{}, nil, fmt.Errorf("testbench: campaign %s: bad params: %w", spec.Campaign, err)
 	}
 	if err := validateParams(spec.Campaign, params); err != nil {
-		return nil, err
+		return nil, nil, Spec{}, nil, err
 	}
-	// Run and Validate must agree: a spec the HTTP gate would reject
+	// compile and Validate must agree: a spec the HTTP gate would reject
 	// cannot slip through the programmatic path with the envelope
 	// recording a chunk size the engine silently replaced.
 	if spec.Chunk < 0 {
-		return nil, fmt.Errorf("testbench: campaign %s: negative chunk %d", spec.Campaign, spec.Chunk)
+		return nil, nil, Spec{}, nil, fmt.Errorf("testbench: campaign %s: negative chunk %d", spec.Campaign, spec.Chunk)
+	}
+	if spec.Checkpoint < 0 {
+		return nil, nil, Spec{}, nil, fmt.Errorf("testbench: campaign %s: negative checkpoint %d", spec.Campaign, spec.Checkpoint)
 	}
 	cfg := runConfig{}
 	for _, opt := range opts {
@@ -180,18 +196,30 @@ func Run(ctx context.Context, spec Spec, opts ...Option) (*Result, error) {
 		spec.Workers = workers
 	}
 	ev := &Env{spec: spec, override: cfg.sys, workers: workers, progress: cfg.progress}
+	spec.Params = params
+	return def, ev, spec, params, nil
+}
+
+// Run executes the campaign a spec names through the registry and wraps
+// its payload in the uniform Result envelope. Cancelling ctx aborts the
+// campaign within one trial's latency (the run returns ctx's error). All
+// legacy Run* entry points are thin wrappers over this function.
+func Run(ctx context.Context, spec Spec, opts ...Option) (*Result, error) {
+	def, ev, eff, params, err := compile(spec, opts...)
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	payload, err := def.run(ctx, ev, params)
 	if err != nil {
 		return nil, fmt.Errorf("testbench: campaign %s: %w", spec.Campaign, err)
 	}
-	spec.Params = params
 	return &Result{
-		Spec:    spec,
+		Spec:    eff,
 		Payload: payload,
 		Text:    renderText(payload),
 		Elapsed: time.Since(start),
-		Workers: workers,
+		Workers: ev.workers,
 	}, nil
 }
 

@@ -114,64 +114,57 @@ func (c yieldCounts) foldVerdict(truthGood, pass bool) yieldCounts {
 	return c
 }
 
-// runYield is the registry implementation behind RunYield. Each die
-// derives its private random stream inside the worker as a pure function
-// of (seed, die index) via Engine.Stream — there is no O(n) serial
-// stream pre-pass — and the verdicts fold into yieldCounts chunk by
-// chunk, so a 10M-die run holds a few accumulators, not 10M result
-// slots.
-func runYield(ctx context.Context, sys *core.System, dec ndf.Decision, n int, componentSigma, tol float64, eng campaign.Engine) (*Yield, error) {
+// yieldVerdict is one die's scored outcome: whether the circuit truly
+// meets the spec and whether the test passed it.
+type yieldVerdict struct{ truthGood, pass bool }
+
+// yieldTrial builds the per-die trial function of the yield campaign.
+// Each die derives its private random stream inside the worker as a
+// pure function of (seed, die index) via Engine.Stream — there is no
+// O(n) serial stream pre-pass — so any contiguous die range (a resumed
+// checkpoint suffix, a leased shard) replays the exact draws of the
+// full-range run. The golden signature is materialized here, before
+// fan-out, so the sync.Once does not serialize the workers.
+func yieldTrial(sys *core.System, dec ndf.Decision, componentSigma, tol float64, eng campaign.Engine) (func(i int, sc *core.TrialScratch) (yieldVerdict, error), error) {
 	if _, err := sys.GoldenSignature(); err != nil {
 		return nil, err
 	}
 	golden := sys.Golden()
-	type verdict struct{ truthGood, pass bool }
-	counts, err := campaign.ReduceScratch(ctx, eng, n,
-		campaign.Reducer[verdict, yieldCounts]{
-			Fold: func(acc yieldCounts, _ int, v verdict) yieldCounts {
-				return acc.foldVerdict(v.truthGood, v.pass)
-			},
-			Merge: func(into, next yieldCounts) yieldCounts {
-				into.trueGood += next.trueGood
-				into.pass += next.pass
-				into.escapes += next.escapes
-				into.overkill += next.overkill
-				return into
-			},
-		},
-		core.NewTrialScratch,
-		func(i int, sc *core.TrialScratch) (verdict, error) {
-			s := eng.Stream(i)
-			// Per-die component tolerances, injected at realization level
-			// through the backend (the draw order is part of the
-			// bit-reproducibility contract).
-			cut, err := sys.Deviated(core.Deviation{
-				RDrift:  s.Gauss(0, componentSigma),
-				RQDrift: s.Gauss(0, componentSigma),
-				RGDrift: s.Gauss(0, componentSigma),
-				CDrift:  s.Gauss(0, componentSigma),
-			})
-			if err != nil {
-				return verdict{}, err
-			}
-			p := cut.Params()
-			inBand := func(val, nom, frac float64) bool {
-				return val >= nom*(1-frac) && val <= nom*(1+frac)
-			}
-			truthGood := inBand(p.F0, golden.F0, tol) &&
-				inBand(p.Q, golden.Q, 2*tol) &&
-				inBand(p.Gain, golden.Gain, tol)
-			v, err := sys.NDFOfScratch(cut, sc)
-			if err != nil {
-				return verdict{}, err
-			}
-			return verdict{truthGood: truthGood, pass: dec.Pass(v)}, nil
+	return func(i int, sc *core.TrialScratch) (yieldVerdict, error) {
+		s := eng.Stream(i)
+		// Per-die component tolerances, injected at realization level
+		// through the backend (the draw order is part of the
+		// bit-reproducibility contract).
+		cut, err := sys.Deviated(core.Deviation{
+			RDrift:  s.Gauss(0, componentSigma),
+			RQDrift: s.Gauss(0, componentSigma),
+			RGDrift: s.Gauss(0, componentSigma),
+			CDrift:  s.Gauss(0, componentSigma),
 		})
-	if err != nil {
-		return nil, err
-	}
+		if err != nil {
+			return yieldVerdict{}, err
+		}
+		p := cut.Params()
+		inBand := func(val, nom, frac float64) bool {
+			return val >= nom*(1-frac) && val <= nom*(1+frac)
+		}
+		truthGood := inBand(p.F0, golden.F0, tol) &&
+			inBand(p.Q, golden.Q, 2*tol) &&
+			inBand(p.Gain, golden.Gain, tol)
+		v, err := sys.NDFOfScratch(cut, sc)
+		if err != nil {
+			return yieldVerdict{}, err
+		}
+		return yieldVerdict{truthGood: truthGood, pass: dec.Pass(v)}, nil
+	}, nil
+}
+
+// finalizeYield scores the full-campaign counts into the published
+// payload with its Wilson intervals — shared by the in-process run and
+// the fabric's merge-on-complete path.
+func finalizeYield(counts yieldCounts, n int, componentSigma, tol, threshold float64) *Yield {
 	out := &Yield{
-		N: n, ComponentSigma: componentSigma, Tolerance: tol, Threshold: dec.Threshold,
+		N: n, ComponentSigma: componentSigma, Tolerance: tol, Threshold: threshold,
 		TrueGood: counts.trueGood, PassCount: counts.pass,
 		Escapes: counts.escapes, Overkill: counts.overkill,
 	}
@@ -179,7 +172,22 @@ func runYield(ctx context.Context, sys *core.System, dec ndf.Decision, n int, co
 	if out.PassCount > 0 {
 		out.DefectLo, out.DefectHi = stat.Wilson(out.Escapes, out.PassCount, 0.95)
 	}
-	return out, nil
+	return out
+}
+
+// runYield is the registry implementation behind RunYield: the yield
+// trial streamed through the checkpointable reduction over the full die
+// range.
+func runYield(ctx context.Context, sys *core.System, dec ndf.Decision, n int, componentSigma, tol float64, eng campaign.Engine) (*Yield, error) {
+	trial, err := yieldTrial(sys, dec, componentSigma, tol, eng)
+	if err != nil {
+		return nil, err
+	}
+	counts, err := campaign.ReduceScratch(ctx, eng, n, yieldReducer().Reducer, core.NewTrialScratch, trial)
+	if err != nil {
+		return nil, err
+	}
+	return finalizeYield(counts, n, componentSigma, tol, dec.Threshold), nil
 }
 
 // YieldRate returns the fraction of circuits passing the test.

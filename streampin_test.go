@@ -2,6 +2,8 @@ package repro
 
 import (
 	"context"
+	"encoding/binary"
+	"math"
 	"runtime"
 	"sync"
 	"testing"
@@ -59,6 +61,53 @@ func TestReducePinnedThroughput(t *testing.T) {
 	t.Logf("Reduce is %.1fx the materializing Run on the trivial-trial hot path", best)
 	if best < 1.5 {
 		t.Fatalf("Reduce only %.2fx Run, pinned at >= 1.5x", best)
+	}
+}
+
+// TestCheckpointOverheadPinned pins the durable fabric's checkpoint tax:
+// at the default cadence (one serialized accumulator every 65536
+// trials), a span reduction with a checkpoint sink must cost less than
+// 5% over the same reduction with no sink — the knob that makes
+// durability free enough to leave on for every sharded campaign.
+// Trivial trials are the worst case for the pin: any real campaign's
+// per-trial work only shrinks the relative overhead. Best-of-three
+// against machine noise, in the TestReducePinnedThroughput style.
+func TestCheckpointOverheadPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing pin skipped in -short mode (race CI distorts timing)")
+	}
+	ctx := context.Background()
+	span := campaign.Span{Lo: 0, Hi: 1_000_000}
+	sink := func(acc float64, through int) error {
+		var buf [16]byte
+		binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(acc))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(through))
+		return nil
+	}
+	var opErr error
+	best := math.Inf(1)
+	for round := 0; round < 3 && best >= 1.05; round++ {
+		off := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N && opErr == nil; i++ {
+				_, opErr = campaign.ReduceSpan(ctx, campaign.Engine{Workers: 1}, span, nil, nil, sumRed(), trivialTrial)
+			}
+		})
+		on := testing.Benchmark(func(b *testing.B) {
+			e := campaign.Engine{Workers: 1, Checkpoint: campaign.DefaultCheckpoint}
+			for i := 0; i < b.N && opErr == nil; i++ {
+				_, opErr = campaign.ReduceSpan(ctx, e, span, nil, sink, sumRed(), trivialTrial)
+			}
+		})
+		if opErr != nil {
+			t.Fatal(opErr)
+		}
+		if ratio := float64(on.NsPerOp()) / float64(off.NsPerOp()); ratio < best {
+			best = ratio
+		}
+	}
+	t.Logf("checkpointing at the default cadence costs %.2f%% over the bare span reduction", (best-1)*100)
+	if best >= 1.05 {
+		t.Fatalf("checkpoint overhead %.1f%% at the default cadence, pinned at < 5%%", (best-1)*100)
 	}
 }
 
