@@ -18,12 +18,12 @@ GOFMT ?= gofmt
 # Perf trajectory snapshot number: bump per PR (or override with
 # `make bench-json BENCH_N=7`) so BENCH_<N>.json files accumulate and
 # bench-diff always compares the two most recent.
-BENCH_N ?= 9
+BENCH_N ?= 10
 BENCH_PREV = $(shell expr $(BENCH_N) - 1)
 
-.PHONY: ci fmt vet lint lint-json build test race bench bench-json bench-smoke bench-diff fuzz-smoke serve-smoke fabric-smoke
+.PHONY: ci fmt vet lint lint-json build test race bench bench-json bench-smoke bench-diff fuzz-smoke serve-smoke fabric-smoke load load-smoke
 
-ci: fmt lint build race bench-smoke serve-smoke fabric-smoke
+ci: fmt lint build race bench-smoke serve-smoke fabric-smoke load-smoke
 
 # gofmt gate: fail with the offending file list when any file is unformatted.
 fmt:
@@ -121,3 +121,19 @@ serve-smoke:
 # dropped shard must be re-leased after its TTL.
 fabric-smoke:
 	$(GO) run ./cmd/mcserved -fabric-smoke
+
+# Load gate: replay the deterministic mixed workload through an
+# in-process mcserved, write the throughput/latency report, and fail on
+# a regression against the checked-in baseline (throughput floor 1/4x,
+# latency quantile ceiling 4x — wide enough for machine variation, tight
+# enough to catch a blocking instrument or accidental O(n^2) route; see
+# cmd/mcload). LOAD_BASELINE.json regenerates with
+# `go run ./cmd/mcload -baseline LOAD_BASELINE.json -update-baseline`.
+load:
+	$(GO) run ./cmd/mcload -jobs 40 -concurrency 4 -seed 1 \
+		-baseline LOAD_BASELINE.json -report load_report.json
+
+# Short load profile for the CI gate: same workload, fewer jobs.
+load-smoke:
+	$(GO) run ./cmd/mcload -jobs 12 -concurrency 4 -seed 1 \
+		-baseline LOAD_BASELINE.json -report load_report.json

@@ -1,0 +1,428 @@
+// Command mcload is the mixed-workload replay client behind make load:
+// it drives a running mcserved (or an in-process one it starts itself)
+// with a deterministic sequence of small campaign specs, measures
+// client-side job latency and throughput, diffs the server's /metrics
+// before and after, and — against a checked-in baseline — fails on a
+// throughput or latency-quantile regression.
+//
+//	mcload                                  # in-process server, default mix
+//	mcload -base http://host:8080           # replay against a live instance
+//	mcload -jobs 40 -concurrency 4 -seed 7 -mix fig4mc=1,yield=3
+//	mcload -baseline LOAD_BASELINE.json     # gate against the baseline
+//	mcload -update-baseline                 # rewrite the baseline from this run
+//
+// The spec sequence is a pure function of -seed and the mix, so two
+// runs against the same binary submit byte-identical work; what the
+// gate measures is the serving stack, not the workload. Latency gates
+// use wide multiples (see gate) so only a real regression — not machine
+// noise — trips them.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		base      = flag.String("base", "", "base URL of a running mcserved; empty starts an in-process server")
+		jobs      = flag.Int("jobs", 40, "number of campaign jobs to replay")
+		conc      = flag.Int("concurrency", 4, "concurrent submitters")
+		seed      = flag.Uint64("seed", 1, "root seed of the deterministic spec sequence")
+		mixFlag   = flag.String("mix", "fig4mc=1,yield=3", "campaign mix as name=weight pairs")
+		duration  = flag.Duration("duration", 0, "stop submitting after this long (0 = run all -jobs)")
+		baseline  = flag.String("baseline", "", "baseline JSON to gate against (empty = no gate)")
+		update    = flag.Bool("update-baseline", false, "rewrite -baseline from this run instead of gating")
+		report    = flag.String("report", "", "write the run report JSON here")
+		injectLat = flag.Duration("inject-latency", 0, "artificial per-request delay in the in-process server (regression-gate self-test)")
+	)
+	flag.Parse()
+	if err := run(*base, *jobs, *conc, *seed, *mixFlag, *duration, *baseline, *update, *report, *injectLat); err != nil {
+		fmt.Fprintln(os.Stderr, "mcload:", err)
+		os.Exit(1)
+	}
+}
+
+// mixEntry is one weighted campaign in the workload mix.
+type mixEntry struct {
+	name   string
+	weight int
+}
+
+// parseMix parses "fig4mc=1,yield=3" into an ordered weighted mix.
+func parseMix(s string) ([]mixEntry, error) {
+	var mix []mixEntry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, w, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q (want name=weight)", part)
+		}
+		weight, err := strconv.Atoi(w)
+		if err != nil || weight < 1 {
+			return nil, fmt.Errorf("bad mix weight %q", w)
+		}
+		if name != "fig4mc" && name != "yield" {
+			return nil, fmt.Errorf("mix campaign %q not in the replay set (fig4mc, yield)", name)
+		}
+		mix = append(mix, mixEntry{name: name, weight: weight})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty mix %q", s)
+	}
+	return mix, nil
+}
+
+// splitmix64 is the spec-sequence hash: spec i derives every varying
+// knob from h(seed, i), so the workload is a pure function of the seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// specFor deterministically picks job i's spec from the mix: small
+// campaigns sized for replay throughput, with enough knob variation to
+// exercise the param-decoding and scheduling paths.
+func specFor(mix []mixEntry, seed uint64, i int) string {
+	h := splitmix64(seed ^ uint64(i)*0x9e3779b97f4a7c15)
+	total := 0
+	for _, m := range mix {
+		total += m.weight
+	}
+	pick := int(h % uint64(total))
+	var name string
+	for _, m := range mix {
+		if pick < m.weight {
+			name = m.name
+			break
+		}
+		pick -= m.weight
+	}
+	h2 := splitmix64(h)
+	switch name {
+	case "fig4mc":
+		return fmt.Sprintf(`{"campaign":"fig4mc","seed":%d,"params":{"monitor":2,"dies":%d,"cols":11}}`,
+			h2%1000, 16+h2%5)
+	default: // yield
+		// Small trial counts and a pinned threshold (which skips the
+		// decision calibration) keep jobs fast: replay measures the
+		// serving stack, not campaign compute.
+		return fmt.Sprintf(`{"campaign":"yield","seed":%d,"chunk":8,"params":{"n":%d,"threshold":0.03}}`,
+			h2%1000, 16+8*(h2%3))
+	}
+}
+
+// Report is the run's measured outcome — the JSON make load writes and
+// the shape LOAD_BASELINE.json pins.
+type Report struct {
+	Jobs        int     `json:"jobs"`
+	Failures    int     `json:"failures"`
+	WallSeconds float64 `json:"wall_seconds"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P90Seconds  float64 `json:"p90_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+	// Metrics deltas scraped from the server around the run.
+	TrialsDelta   float64 `json:"trials_delta"`
+	RequestsDelta float64 `json:"requests_delta"`
+	ChunksDelta   uint64  `json:"chunks_delta"`
+}
+
+// gate compares a run against the baseline with deliberately wide
+// margins: throughput may drop to a quarter and latency quantiles may
+// quadruple before the gate trips, so machine variation passes and a
+// serialization bug, accidental O(n^2) route, or blocking instrument
+// does not.
+func gate(r, b Report) error {
+	if b.JobsPerSec > 0 && r.JobsPerSec < b.JobsPerSec/4 {
+		return fmt.Errorf("throughput regression: %.2f jobs/s vs baseline %.2f (floor %.2f)",
+			r.JobsPerSec, b.JobsPerSec, b.JobsPerSec/4)
+	}
+	if b.P90Seconds > 0 && r.P90Seconds > 4*b.P90Seconds {
+		return fmt.Errorf("latency regression: p90 %.4fs vs baseline %.4fs (ceiling %.4fs)",
+			r.P90Seconds, b.P90Seconds, 4*b.P90Seconds)
+	}
+	if b.P99Seconds > 0 && r.P99Seconds > 6*b.P99Seconds {
+		return fmt.Errorf("latency regression: p99 %.4fs vs baseline %.4fs (ceiling %.4fs)",
+			r.P99Seconds, b.P99Seconds, 6*b.P99Seconds)
+	}
+	return nil
+}
+
+// quantile reads q from ascending-sorted samples (nearest rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// delay wraps a handler with a fixed per-request sleep — the injected
+// regression the gate self-test proves it catches.
+func delay(d time.Duration, next http.Handler) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(d)
+		next.ServeHTTP(w, r)
+	})
+}
+
+func run(base string, jobs, conc int, seed uint64, mixFlag string, duration time.Duration, baselinePath string, update bool, reportPath string, injectLat time.Duration) error {
+	mix, err := parseMix(mixFlag)
+	if err != nil {
+		return err
+	}
+	if jobs < 1 || conc < 1 {
+		return fmt.Errorf("need at least one job and one submitter (jobs=%d concurrency=%d)", jobs, conc)
+	}
+	if base != "" && injectLat > 0 {
+		return fmt.Errorf("-inject-latency only applies to the in-process server")
+	}
+	if base == "" {
+		srv := serve.New(context.Background())
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: delay(injectLat, srv.Handler())}
+		go func() { _ = hs.Serve(ln) }() // torn down via Close below; replay errors are the verdict
+		defer func() { _ = hs.Close() }()
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("mcload: in-process mcserved on %s\n", base)
+	}
+
+	rep, err := replay(base, mix, seed, jobs, conc, duration)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mcload: %d jobs in %.2fs — %.2f jobs/s, p50 %.4fs p90 %.4fs p99 %.4fs (%v trials, %v chunks folded)\n",
+		rep.Jobs, rep.WallSeconds, rep.JobsPerSec, rep.P50Seconds, rep.P90Seconds, rep.P99Seconds,
+		rep.TrialsDelta, rep.ChunksDelta)
+	if rep.Failures > 0 {
+		return fmt.Errorf("%d of %d jobs failed", rep.Failures, rep.Jobs)
+	}
+	if rep.TrialsDelta <= 0 {
+		return fmt.Errorf("trial counter did not move (delta %v) — metrics wiring broken", rep.TrialsDelta)
+	}
+
+	if reportPath != "" {
+		if err := writeJSONFile(reportPath, rep); err != nil {
+			return err
+		}
+		fmt.Printf("mcload: report written to %s\n", reportPath)
+	}
+	if baselinePath == "" {
+		return nil
+	}
+	if update {
+		if err := writeJSONFile(baselinePath, rep); err != nil {
+			return err
+		}
+		fmt.Printf("mcload: baseline updated at %s\n", baselinePath)
+		return nil
+	}
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var bl Report
+	if err := json.Unmarshal(data, &bl); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	if err := gate(rep, bl); err != nil {
+		return err
+	}
+	fmt.Printf("mcload: within baseline envelope (throughput floor %.2f jobs/s, p90 ceiling %.4fs)\n",
+		bl.JobsPerSec/4, 4*bl.P90Seconds)
+	return nil
+}
+
+// replay submits the deterministic spec sequence through conc workers,
+// polling each job to a terminal state, and returns the measured
+// report with the /metrics deltas already folded in.
+func replay(base string, mix []mixEntry, seed uint64, jobs, conc int, duration time.Duration) (Report, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	before, err := scrapeJSON(client, base)
+	if err != nil {
+		return Report{}, fmt.Errorf("pre-run scrape: %w", err)
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		failures  int
+		firstErr  error
+	)
+	deadline := time.Time{}
+	if duration > 0 {
+		deadline = time.Now().Add(duration)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				lat, err := runJob(client, base, specFor(mix, seed, i))
+				mu.Lock()
+				if err != nil {
+					failures++
+					if firstErr == nil {
+						firstErr = fmt.Errorf("job %d: %w", i, err)
+					}
+				} else {
+					latencies = append(latencies, lat.Seconds())
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	submitted := 0
+	for i := 0; i < jobs; i++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		next <- i
+		submitted++
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(start)
+
+	after, err := scrapeJSON(client, base)
+	if err != nil {
+		return Report{}, fmt.Errorf("post-run scrape: %w", err)
+	}
+
+	sort.Float64s(latencies)
+	rep := Report{
+		Jobs:        submitted,
+		Failures:    failures,
+		WallSeconds: wall.Seconds(),
+		P50Seconds:  quantile(latencies, 0.50),
+		P90Seconds:  quantile(latencies, 0.90),
+		P99Seconds:  quantile(latencies, 0.99),
+	}
+	if wall > 0 {
+		rep.JobsPerSec = float64(submitted-failures) / wall.Seconds()
+	}
+	rep.TrialsDelta = familyTotal(after, "mccampaign_trials_total") - familyTotal(before, "mccampaign_trials_total")
+	rep.RequestsDelta = familyTotal(after, "mcserved_http_requests_total") - familyTotal(before, "mcserved_http_requests_total")
+	rep.ChunksDelta = histogramCount(after, "mccampaign_chunk_seconds") - histogramCount(before, "mccampaign_chunk_seconds")
+	if firstErr != nil {
+		return rep, firstErr
+	}
+	return rep, nil
+}
+
+// runJob submits one spec and polls it to a terminal state, returning
+// the submit-to-done latency.
+func runJob(client *http.Client, base, spec string) (time.Duration, error) {
+	start := time.Now()
+	resp, err := client.Post(base+"/v1/campaigns", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return 0, err
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	_ = resp.Body.Close() // body fully consumed; decode errors surface below
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return 0, fmt.Errorf("submit status %s", resp.Status)
+	}
+	for st.State == "running" {
+		time.Sleep(10 * time.Millisecond)
+		resp, err = client.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return 0, err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		_ = resp.Body.Close() // body fully consumed; decode errors surface below
+		if err != nil {
+			return 0, err
+		}
+	}
+	if st.State != "done" {
+		return 0, fmt.Errorf("job %s ended %q: %s", st.ID, st.State, st.Error)
+	}
+	return time.Since(start), nil
+}
+
+// scrapeJSON fetches the server's JSON metrics snapshot.
+func scrapeJSON(client *http.Client, base string) (metrics.JSONSnapshot, error) {
+	var snap metrics.JSONSnapshot
+	resp, err := client.Get(base + "/metrics?format=json")
+	if err != nil {
+		return snap, err
+	}
+	defer func() { _ = resp.Body.Close() }() // read side decides the outcome
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return snap, err
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return snap, err
+	}
+	return snap, nil
+}
+
+// familyTotal sums a family's scalar values; 0 when absent.
+func familyTotal(snap metrics.JSONSnapshot, name string) float64 {
+	f, ok := snap.Find(name)
+	if !ok {
+		return 0
+	}
+	return f.Total()
+}
+
+// histogramCount reads a plain histogram family's observation count.
+func histogramCount(snap metrics.JSONSnapshot, name string) uint64 {
+	f, ok := snap.Find(name)
+	if !ok || len(f.Metrics) != 1 || f.Metrics[0].Count == nil {
+		return 0
+	}
+	return *f.Metrics[0].Count
+}
+
+// writeJSONFile writes v as indented JSON.
+func writeJSONFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

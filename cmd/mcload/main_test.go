@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("fig4mc=1,yield=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 2 || mix[0] != (mixEntry{"fig4mc", 1}) || mix[1] != (mixEntry{"yield", 3}) {
+		t.Fatalf("parsed %+v", mix)
+	}
+	for _, bad := range []string{"", "fig4mc", "fig4mc=0", "nosuch=1", "yield=x"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Fatalf("mix %q accepted", bad)
+		}
+	}
+}
+
+// The spec sequence is a pure function of (seed, index): same seed,
+// same bytes; a different seed varies the sequence.
+func TestSpecSequenceDeterministic(t *testing.T) {
+	mix, err := parseMix("fig4mc=1,yield=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaigns := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		a := specFor(mix, 7, i)
+		b := specFor(mix, 7, i)
+		if a != b {
+			t.Fatalf("spec %d not deterministic:\n%s\n%s", i, a, b)
+		}
+		name, _, _ := strings.Cut(strings.TrimPrefix(a, `{"campaign":"`), `"`)
+		campaigns[name] = true
+	}
+	if !campaigns["fig4mc"] || !campaigns["yield"] {
+		t.Fatalf("mix not exercised in 50 specs: %v", campaigns)
+	}
+	diff := false
+	for i := 0; i < 50; i++ {
+		if specFor(mix, 7, i) != specFor(mix, 8, i) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("seed does not vary the spec sequence")
+	}
+}
+
+// The gate's pure comparison: wide margins pass, real regressions trip.
+func TestGate(t *testing.T) {
+	base := Report{JobsPerSec: 10, P90Seconds: 0.1, P99Seconds: 0.2}
+	ok := Report{JobsPerSec: 4, P90Seconds: 0.3, P99Seconds: 0.9}
+	if err := gate(ok, base); err != nil {
+		t.Fatalf("in-envelope run gated: %v", err)
+	}
+	slow := Report{JobsPerSec: 10, P90Seconds: 0.5, P99Seconds: 0.2}
+	if err := gate(slow, base); err == nil || !strings.Contains(err.Error(), "latency regression") {
+		t.Fatalf("5x p90 not gated: %v", err)
+	}
+	starved := Report{JobsPerSec: 2, P90Seconds: 0.1, P99Seconds: 0.2}
+	if err := gate(starved, base); err == nil || !strings.Contains(err.Error(), "throughput regression") {
+		t.Fatalf("5x throughput drop not gated: %v", err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := quantile(s, 0.5); q != 5 {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := quantile(s, 0.9); q != 9 {
+		t.Fatalf("p90 = %v", q)
+	}
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Fatalf("empty p50 = %v", q)
+	}
+}
+
+// End to end: a clean run writes a baseline, and a rerun with an
+// injected per-request sleep trips the regression gate — the capability
+// the CI load step exists to provide. A yield-only mix keeps job
+// latency HTTP-dominated, so the artificial delay cannot hide in
+// campaign compute time.
+func TestInjectedRegressionTripsGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays real campaigns through a live server")
+	}
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+	report := filepath.Join(dir, "report.json")
+
+	if err := run("", 8, 4, 7, "yield=1", 0, baseline, true, report, 0); err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	if _, err := os.Stat(report); err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+
+	err := run("", 8, 4, 7, "yield=1", 0, baseline, false, "", time.Second)
+	if err == nil {
+		t.Fatal("run with 1s injected per-request latency passed the gate")
+	}
+	if !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("gate failed for the wrong reason: %v", err)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -64,6 +65,7 @@ func main() {
 		worker      = flag.Bool("worker", false, "run as a fabric worker instead of serving HTTP")
 		peer        = flag.String("peer", "http://127.0.0.1:8080", "coordinator base URL (worker mode)")
 		workerID    = flag.String("worker-id", "", "worker id in lease tokens (default host.pid)")
+		logFormat   = flag.String("log-format", "", `structured request logging to stderr: "text" (key=value) or "json"; empty disables`)
 		smoke       = flag.Bool("smoke", false, "start on an ephemeral port, run one small campaign through the HTTP API, and exit")
 		fabricSmoke = flag.Bool("fabric-smoke", false, "run the distributed fabric end to end in-process (coordinator + two HTTP workers) and exit")
 	)
@@ -77,7 +79,7 @@ func main() {
 	case *worker:
 		err = runWorker(ctx, *peer, *workerID)
 	default:
-		err = run(ctx, *addr, *storeDir, *smoke)
+		err = run(ctx, *addr, *storeDir, *logFormat, *smoke)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcserved:", err)
@@ -85,9 +87,12 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, addr, storeDir string, smoke bool) error {
+func run(ctx context.Context, addr, storeDir, logFormat string, smoke bool) error {
 	if smoke {
 		addr = "127.0.0.1:0"
+	}
+	if logFormat != "" && logFormat != serve.LogText && logFormat != serve.LogJSON {
+		return fmt.Errorf("bad -log-format %q (want %q or %q)", logFormat, serve.LogText, serve.LogJSON)
 	}
 	srv := serve.New(ctx)
 	defer srv.Close()
@@ -98,7 +103,9 @@ func run(ctx context.Context, addr, storeDir string, smoke bool) error {
 		if err != nil {
 			return err
 		}
-		coord := fabric.NewCoordinator(fabric.Config{Store: store})
+		// The coordinator registers into the serve registry, so one
+		// GET /metrics scrape covers both the job engine and the fabric.
+		coord := fabric.NewCoordinator(fabric.Config{Store: store, Metrics: fabric.NewMetrics(srv.Metrics())})
 		defer func() { _ = coord.Close() }() // shutdown path; job logs flush on every append
 		if err := coord.RecoverAll(ctx); err != nil {
 			return err
@@ -112,7 +119,7 @@ func run(ctx context.Context, addr, storeDir string, smoke bool) error {
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: mux}
+	hs := &http.Server{Handler: serve.AccessLog(os.Stderr, logFormat, mux)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 	fmt.Printf("mcserved listening on http://%s\n", ln.Addr())
@@ -215,6 +222,38 @@ func smokeTest(base string) error {
 		return fmt.Errorf("smoke: job ended %q: %s", st.State, st.Error)
 	}
 	fmt.Printf("smoke: %s done in %v\n%s", st.ID, st.Result.Elapsed.Round(time.Millisecond), st.Result.Text)
+
+	// The metrics endpoint must expose the run in both formats.
+	resp, err = client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	text, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close() // body fully consumed; errors surface below
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(text), "mccampaign_trials_total") {
+		return fmt.Errorf("smoke: /metrics text scrape missing trial counter (status %s)", resp.Status)
+	}
+	resp, err = client.Get(base + "/metrics?format=json")
+	if err != nil {
+		return err
+	}
+	var snap struct {
+		Families []struct {
+			Name string `json:"name"`
+		} `json:"families"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	_ = resp.Body.Close() // body fully consumed; decode errors surface below
+	if err != nil {
+		return err
+	}
+	if len(snap.Families) == 0 {
+		return errors.New("smoke: /metrics JSON scrape has no families")
+	}
+	fmt.Printf("smoke: /metrics exposes %d families in both formats\n", len(snap.Families))
 	return nil
 }
 

@@ -1,33 +1,3 @@
-// Package campaign is the shared parallel Monte-Carlo trial engine. Every
-// statistical study in the repository — the Fig. 4 process-variation
-// envelope, the noise detection and resolution sweeps, the component
-// fault campaign, the production yield simulation, the Fig. 8 deviation
-// sweep — is a batch of independent trials, and this package runs such a
-// batch across a bounded worker pool while keeping the results
-// bit-identical at any worker count.
-//
-// Determinism rests on three rules:
-//
-//   - each trial draws randomness only from its own substream, derived
-//     as a pure function of (root seed, trial index) via Engine.Stream
-//     (or pre-derived serially by the caller before fan-out);
-//   - results land in an indexed slot, so output order is the trial
-//     order regardless of completion order;
-//   - the first error is reported by trial index, not by wall-clock
-//     arrival.
-//
-// Runs are cancellable: every entry point takes a context.Context and
-// stops dispatching new trials as soon as it is done, returning ctx.Err()
-// after the in-flight trials finish — so a cancelled campaign aborts
-// within one trial's latency and leaks no goroutines. Progress is
-// observable through Engine.Progress without affecting results.
-//
-// Two execution modes share the engine. Run materializes every trial
-// result in an indexed slot — O(trials) memory, for campaigns that need
-// per-trial output. Reduce streams: workers fold trial results into
-// per-chunk accumulators that are merged in chunk-index order, so memory
-// stays O(workers + chunk) at any trial count while the merged output is
-// still bit-identical at any worker count (see reduce.go).
 package campaign
 
 import (
@@ -72,6 +42,20 @@ type Engine struct {
 	// never affects its result, so the cadence — unlike Chunk — is not
 	// part of the reproducibility contract.
 	Checkpoint int
+	// Meter, when non-nil, observes the streaming reduction engine:
+	// pool size at ReduceStart, chunk fold start/completion events (see
+	// Meter). Like Progress it is called concurrently, must not block,
+	// and observes a run without affecting its results. Run/RunScratch
+	// ignore it — per-trial observation there is Progress.
+	Meter Meter
+}
+
+// meter resolves the configured Meter, defaulting to a no-op.
+func (e Engine) meter() Meter {
+	if e.Meter != nil {
+		return e.Meter
+	}
+	return nopMeter{}
 }
 
 // Stream returns trial i's private random substream — a pure function of

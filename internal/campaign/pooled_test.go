@@ -68,6 +68,9 @@ func TestPooledReducerSketchBitIdentical(t *testing.T) {
 // small multiple of a 10k-trial one, where the unpooled reducer pays
 // one full sketch allocation per chunk.
 func TestPooledReducerFlatAllocation(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation distorts allocation accounting")
+	}
 	ctx := context.Background()
 	alloc := func(n int) uint64 {
 		red := PooledReducer(sketchReducer(), func(s *stat.QuantileSketch) { s.Reset() })

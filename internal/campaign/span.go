@@ -152,22 +152,30 @@ func ReduceSpanScratch[T, A, S any](ctx context.Context, e Engine, span Span, in
 	// into a fresh accumulator. On a trial error (or mid-chunk
 	// cancellation) it stops at that trial; the index of the failing
 	// trial is implicit in the error being the first of the chunk.
+	// The meter brackets the fold — ChunkDone fires on every exit path
+	// with the folded count, so a metered observer's start/done
+	// accounting always closes.
+	meter := e.meter()
 	runChunk := func(c int, scratch S) (A, int, error) {
 		lo := max(c*chunk, span.Lo)
 		hi := min((c+1)*chunk, span.Hi)
 		acc := newAcc()
+		meter.ChunkStart(c)
 		for i := lo; i < hi; i++ {
 			if err := ctx.Err(); err != nil {
+				meter.ChunkDone(c, i-lo)
 				tick(i - lo)
 				return acc, i - lo, err
 			}
 			v, err := trial(i, scratch)
 			if err != nil {
+				meter.ChunkDone(c, i-lo)
 				tick(i - lo)
 				return acc, i - lo, err
 			}
 			acc = r.Fold(acc, i, v)
 		}
+		meter.ChunkDone(c, hi-lo)
 		tick(hi - lo)
 		return acc, hi - lo, nil
 	}
@@ -182,6 +190,7 @@ func ReduceSpanScratch[T, A, S any](ctx context.Context, e Engine, span Span, in
 	}
 
 	workers := e.poolSize(nChunks)
+	meter.ReduceStart(workers, n)
 	if workers == 1 {
 		scratch := newScratch()
 		var global A

@@ -66,6 +66,7 @@ type jobRun struct {
 type lease struct {
 	shard    int
 	deadline time.Time
+	lastBeat time.Time // grant or latest heartbeat; feeds the staleness gauge
 }
 
 // Coordinator owns the fabric's control plane: it plans jobs, issues
@@ -77,6 +78,7 @@ type Coordinator struct {
 	compile  CompileFunc
 	leaseTTL time.Duration
 	now      func() time.Time
+	metrics  *Metrics // nil-safe; see Metrics
 
 	mu   sync.Mutex
 	jobs map[string]*jobRun
@@ -90,6 +92,7 @@ func NewCoordinator(cfg Config) *Coordinator {
 		compile:  cfg.Compile,
 		leaseTTL: cfg.LeaseTTL,
 		now:      cfg.Now,
+		metrics:  cfg.Metrics,
 		jobs:     map[string]*jobRun{},
 	}
 	if c.compile == nil {
@@ -101,6 +104,7 @@ func NewCoordinator(cfg Config) *Coordinator {
 	if c.now == nil {
 		c.now = time.Now
 	}
+	c.metrics.observeCoordinator(c)
 	return c
 }
 
@@ -235,7 +239,8 @@ func (c *Coordinator) Lease(ctx context.Context, workerID string) (*Lease, bool,
 		r.pending = r.pending[1:]
 		c.seq++
 		token := fmt.Sprintf("%s.%d.%d", workerID, shard, c.seq)
-		r.leases[token] = &lease{shard: shard, deadline: now.Add(c.leaseTTL)}
+		r.leases[token] = &lease{shard: shard, deadline: now.Add(c.leaseTTL), lastBeat: now}
+		c.metrics.leaseGranted()
 		st := r.job.State()
 		sh := st.Shards[shard]
 		return &Lease{
@@ -266,6 +271,7 @@ func (c *Coordinator) expireLocked(r *jobRun, now time.Time) {
 	for _, token := range dead {
 		r.pending = insertSorted(r.pending, r.leases[token].shard)
 		delete(r.leases, token)
+		c.metrics.leaseExpired()
 	}
 }
 
@@ -305,8 +311,10 @@ func (c *Coordinator) Heartbeat(ctx context.Context, ls *Lease, through int, acc
 		if err := r.job.AppendCheckpoint(l.shard, through, acc); err != nil {
 			return err
 		}
+		c.metrics.checkpoint(len(acc))
 	}
 	l.deadline = now.Add(c.leaseTTL)
+	l.lastBeat = now
 	return nil
 }
 
@@ -331,6 +339,7 @@ func (c *Coordinator) Report(ctx context.Context, ls *Lease, acc []byte) error {
 		c.mu.Unlock()
 		return err
 	}
+	c.metrics.shardDone()
 	delete(r.leases, ls.Token)
 	last := len(r.pending) == 0 && len(r.leases) == 0
 	c.mu.Unlock()
@@ -404,6 +413,7 @@ func (c *Coordinator) finalize(r *jobRun) {
 	st := r.job.State()
 	var merged []byte
 	var err error
+	mergeStart := c.now()
 	for i, sh := range st.Shards {
 		if i == 0 {
 			merged = sh.Acc
@@ -413,6 +423,7 @@ func (c *Coordinator) finalize(r *jobRun) {
 			break
 		}
 	}
+	c.metrics.mergeObserved(c.now().Sub(mergeStart).Seconds())
 	var res *testbench.Result
 	if err == nil {
 		if res, err = r.sharded.Finalize(merged); err == nil {

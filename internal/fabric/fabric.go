@@ -1,31 +1,3 @@
-// Package fabric is the distributed campaign fabric: durable jobs,
-// checkpoint/resume, and sharded execution across mcserved instances.
-//
-// It layers three pieces on the streaming campaign engine:
-//
-//   - a durable job Store (store.go): every job lives in its own
-//     directory as an immutable job.json, an append-only JSON log of
-//     checkpoints and shard completions, and a compacted snapshot, so a
-//     killed process reopens the store and resumes from the last
-//     checkpoint instead of trial 0. Every write error surfaces — a
-//     checkpoint that cannot be persisted fails the run.
-//   - a Coordinator (coordinator.go): splits a campaign spec into
-//     contiguous chunk-aligned trial spans, leases them to workers with
-//     a TTL, requeues expired leases from their last reported
-//     checkpoint, and merges per-shard accumulator blobs in shard-index
-//     order once all spans complete.
-//   - a Worker (worker.go): pulls leases from a Backend — the
-//     Coordinator directly in-process, or an HTTP client against a
-//     remote coordinator — runs each span through the campaign's
-//     sharded form, heartbeats while it works, and reports the span's
-//     accumulator blob.
-//
-// Bit-identity is the design invariant: trials derive their randomness
-// as pure functions of (seed, trial index), checkpoints land only on
-// chunk boundaries, and shard accumulators merge with the exactly
-// associative merges the shardable campaigns use — so a resumed,
-// sharded, or twice-interrupted run finalizes to the same bits as an
-// uninterrupted single-node one.
 package fabric
 
 import (
@@ -59,6 +31,10 @@ type Config struct {
 	// Now is the clock, injectable so lease-expiry tests need no real
 	// waiting; nil selects time.Now.
 	Now func() time.Time
+	// Metrics, when non-nil, instruments the coordinator (lease traffic,
+	// checkpoint volume, merge latency, heartbeat staleness); nil runs
+	// uninstrumented. See NewMetrics.
+	Metrics *Metrics
 }
 
 // DefaultLeaseTTL is the lease lifetime when Config.LeaseTTL is unset:

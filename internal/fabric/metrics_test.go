@@ -1,0 +1,123 @@
+package fabric
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// snapshotTotal reads one family's summed scalar value from a registry.
+func snapshotTotal(t *testing.T, reg *metrics.Registry, name string) float64 {
+	t.Helper()
+	f, ok := reg.Snapshot().Find(name)
+	if !ok {
+		t.Fatalf("family %s missing from registry", name)
+	}
+	return f.Total()
+}
+
+// Driving the Backend surface with an injected clock moves every
+// coordinator instrument: grants, checkpoint bytes, TTL expiry with its
+// requeue, shard completion, merge latency, and the scrape-time
+// lease/staleness gauges.
+func TestCoordinatorMetrics(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	var mu sync.Mutex
+	now := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return clock
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		clock = clock.Add(d)
+		mu.Unlock()
+	}
+	reg := metrics.NewRegistry()
+	c := newTestCoordinator(t, func(cfg *Config) {
+		cfg.Now = now
+		cfg.LeaseTTL = 10 * time.Second
+		cfg.Metrics = NewMetrics(reg)
+	})
+	ctx := context.Background()
+	spec := synthSpec(1000, 1, 100, 100)
+	if err := c.Submit(ctx, "job", spec, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	ls1, ok, err := c.Lease(ctx, "w1")
+	if err != nil || !ok {
+		t.Fatalf("lease: ok=%v err=%v", ok, err)
+	}
+	if v := snapshotTotal(t, reg, "mcfabric_leases_granted_total"); v != 1 {
+		t.Fatalf("leases_granted = %v after one grant", v)
+	}
+	if v := snapshotTotal(t, reg, "mcfabric_leases_active"); v != 1 {
+		t.Fatalf("leases_active = %v with one lease held", v)
+	}
+
+	// A heartbeat with a checkpoint blob adds its bytes and resets the
+	// staleness gauge.
+	advance(5 * time.Second)
+	if age := snapshotTotal(t, reg, "mcfabric_worker_heartbeat_age_seconds"); age != 5 {
+		t.Fatalf("heartbeat age = %v, lease granted 5s ago", age)
+	}
+	blob := []byte("blob-300........")
+	if err := c.Heartbeat(ctx, ls1, 300, blob); err != nil {
+		t.Fatal(err)
+	}
+	if v := snapshotTotal(t, reg, "mcfabric_checkpoint_bytes_total"); v != float64(len(blob)) {
+		t.Fatalf("checkpoint_bytes = %v, persisted %d", v, len(blob))
+	}
+	if age := snapshotTotal(t, reg, "mcfabric_worker_heartbeat_age_seconds"); age != 0 {
+		t.Fatalf("heartbeat age = %v right after a heartbeat", age)
+	}
+
+	// Silence past the TTL expires and requeues the shard.
+	advance(11 * time.Second)
+	ls2, ok, err := c.Lease(ctx, "w2")
+	if err != nil || !ok {
+		t.Fatalf("requeued lease: ok=%v err=%v", ok, err)
+	}
+	if v := snapshotTotal(t, reg, "mcfabric_leases_expired_total"); v != 1 {
+		t.Fatalf("leases_expired = %v after one expiry", v)
+	}
+	if v := snapshotTotal(t, reg, "mcfabric_leases_requeued_total"); v != 1 {
+		t.Fatalf("leases_requeued = %v after one expiry", v)
+	}
+	if v := snapshotTotal(t, reg, "mcfabric_leases_granted_total"); v != 2 {
+		t.Fatalf("leases_granted = %v after a re-grant", v)
+	}
+
+	// Completing the shard finishes the job and times the merge.
+	run, err := synthCompile(ctx, ls2.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := run.Run(ctx, ls2.Span, ls2.Acc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Report(ctx, ls2, acc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, "job"); err != nil {
+		t.Fatal(err)
+	}
+	if v := snapshotTotal(t, reg, "mcfabric_shards_completed_total"); v != 1 {
+		t.Fatalf("shards_completed = %v after one report", v)
+	}
+	f, ok2 := reg.Snapshot().Find("mcfabric_shard_merge_seconds")
+	if !ok2 || len(f.Metrics) != 1 || f.Metrics[0].Count == nil || *f.Metrics[0].Count != 1 {
+		t.Fatalf("shard_merge_seconds did not record the finalize merge: %+v", f)
+	}
+	if v := snapshotTotal(t, reg, "mcfabric_leases_active"); v != 0 {
+		t.Fatalf("leases_active = %v after the job finished", v)
+	}
+	if age := snapshotTotal(t, reg, "mcfabric_worker_heartbeat_age_seconds"); age != 0 {
+		t.Fatalf("heartbeat age = %v with no lease held", age)
+	}
+}

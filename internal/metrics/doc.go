@@ -1,0 +1,29 @@
+// Package metrics is the repository's stdlib-only instrumentation
+// layer: counters, gauges, and fixed-bucket histograms collected in a
+// Registry and exposed in Prometheus text exposition format or a JSON
+// variant (see Handler and docs/METRICS.md for the catalogue).
+//
+// Contract:
+//
+//   - Determinism of exposition: families serialize in registration
+//     order and labeled children in sorted label order, so two scrapes
+//     of the same state are byte-identical and diffs between scrapes
+//     are meaningful. Registration happens once, at construction, on a
+//     deterministic code path (serve.New, fabric.NewMetrics) — never
+//     lazily from request handlers.
+//   - Hot-path cost: Counter.Inc/Add, Gauge.Set/Add and
+//     Histogram.Observe are single atomic operations (a short CAS loop
+//     for float accumulation) and allocation-free — they pass the
+//     hotalloc analyzer and may be called from pinned loops. Vec
+//     lookups (With) take a lock and may allocate on first use of a
+//     label; resolve children once and cache them where it matters.
+//   - Observation only: nothing in this package reads instrument
+//     values back into computations. Metrics observe the engine but
+//     can never affect campaign results, so enabling them preserves
+//     the bit-identity guarantees of internal/campaign.
+//
+// The package deliberately implements only what the service needs: no
+// label sets beyond one dimension, no summaries, no push — the scrape
+// endpoint plus cmd/mcload's before/after delta is the whole
+// consumption story.
+package metrics

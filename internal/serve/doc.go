@@ -1,0 +1,40 @@
+// Package serve is the campaign-as-a-service layer: an HTTP job engine
+// that exposes the testbench campaign registry over the wire. It is the
+// implementation behind cmd/mcserved and the in-process server the
+// examples, tests and the mcload replay client drive.
+//
+// API (JSON everywhere unless noted):
+//
+//	GET    /v1/campaigns          registry catalogue: names, param schemas, defaults
+//	POST   /v1/campaigns          submit a testbench.Spec; 202 + job status
+//	GET    /v1/jobs               all jobs, newest first
+//	GET    /v1/jobs/{id}          one job: state, progress, result when done
+//	GET    /v1/jobs/{id}/events   Server-Sent Events stream of job status until terminal
+//	POST   /v1/jobs/{id}/cancel   cancel a running job (DELETE /v1/jobs/{id} works too)
+//	GET    /metrics               Prometheus text exposition; ?format=json for the JSON variant
+//
+// # Job lifecycle
+//
+// Jobs run concurrently, each under its own context; cancelling through
+// the API aborts the campaign within one trial's latency, exactly like
+// cancelling the context of a direct testbench.Run call — it is the
+// same context. A job is terminal in exactly one of the states done,
+// failed or cancelled, and stays queryable until the server shuts down.
+//
+// # Observability contract
+//
+// Every Server owns a metrics.Registry (see docs/METRICS.md for the
+// families) and instruments its own routes; Handler serves the registry
+// at GET /metrics, and co-resident subsystems — the fabric coordinator
+// inside mcserved — register into the same registry via Metrics().
+// Campaign-level instruments attach through the engine's observer hooks
+// (testbench.WithProgress, testbench.WithMeter): the engine reports
+// events and counts, the adapters here timestamp them, so the campaign
+// packages stay clock-free and instrumented runs remain bit-identical
+// to bare ones. AccessLog adds structured per-request logging (key=value
+// or JSON lines) outside the handler chain.
+//
+// Middleware wrapping Handler must preserve http.Flusher on the
+// response writer, or the SSE stream degrades to one buffered flush at
+// job completion; AccessLog's wrapper passes Flush through.
+package serve

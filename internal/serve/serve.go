@@ -1,21 +1,3 @@
-// Package serve is the campaign-as-a-service layer: an HTTP job engine
-// that exposes the testbench campaign registry over the wire. It is the
-// implementation behind cmd/mcserved and the in-process server the
-// examples and tests drive.
-//
-// API (JSON everywhere):
-//
-//	GET    /v1/campaigns          registry catalogue: names, param schemas, defaults
-//	POST   /v1/campaigns          submit a testbench.Spec; 202 + job status
-//	GET    /v1/jobs               all jobs, newest first
-//	GET    /v1/jobs/{id}          one job: state, progress, result when done
-//	GET    /v1/jobs/{id}/events   Server-Sent Events stream of job status until terminal
-//	POST   /v1/jobs/{id}/cancel   cancel a running job (DELETE /v1/jobs/{id} works too)
-//
-// Jobs run concurrently, each under its own context; cancelling through
-// the API aborts the campaign within one trial's latency, exactly like
-// cancelling the context of a direct testbench.Run call — it is the same
-// context.
 package serve
 
 import (
@@ -29,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/testbench"
 )
 
@@ -73,6 +56,9 @@ type job struct {
 	finished *time.Time
 	cancel   context.CancelFunc
 	done     chan struct{} // closed on terminal state
+	// trialsSeen is the last progress count fed to the cumulative trial
+	// counter (see countTrials); guarded by mu like progress.
+	trialsSeen int
 }
 
 // status snapshots the job under its lock.
@@ -100,6 +86,7 @@ type Server struct {
 	baseCtx context.Context
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
+	metrics *serverMetrics
 }
 
 // New returns a ready server; jobs inherit from ctx (nil = Background),
@@ -109,8 +96,18 @@ func New(ctx context.Context) *Server {
 		ctx = context.Background() //mclint:ctxflow nil-ctx guard at construction; callers pass the process root ctx and Close cancels every job
 	}
 	base, stop := context.WithCancel(ctx)
-	return &Server{jobs: map[string]*job{}, baseCtx: base, stop: stop}
+	return &Server{
+		jobs:    map[string]*job{},
+		baseCtx: base,
+		stop:    stop,
+		metrics: newServerMetrics(metrics.NewRegistry()),
+	}
 }
+
+// Metrics returns the server's metric registry — the one GET /metrics
+// exposes. Co-resident subsystems (the fabric coordinator in mcserved)
+// register their families here so one scrape covers the process.
+func (s *Server) Metrics() *metrics.Registry { return s.metrics.reg }
 
 // Close cancels all running jobs and waits for them to drain.
 func (s *Server) Close() {
@@ -140,6 +137,7 @@ func (s *Server) Submit(spec testbench.Spec) (JobStatus, error) {
 	}
 	s.jobs[j.id] = j
 	s.mu.Unlock()
+	s.metrics.jobsInFlight.Add(1)
 	s.wg.Add(1)
 	go s.run(ctx, cancel, j)
 	return j.status(), nil
@@ -149,11 +147,14 @@ func (s *Server) Submit(spec testbench.Spec) (JobStatus, error) {
 func (s *Server) run(ctx context.Context, cancel context.CancelFunc, j *job) {
 	defer s.wg.Done()
 	defer cancel()
-	res, err := testbench.Run(ctx, j.spec, testbench.WithProgress(func(done, total int) {
-		j.mu.Lock()
-		j.progress = Progress{Done: done, Total: total}
-		j.mu.Unlock()
-	}))
+	res, err := testbench.Run(ctx, j.spec,
+		testbench.WithProgress(func(done, total int) {
+			j.mu.Lock()
+			j.progress = Progress{Done: done, Total: total}
+			j.countTrials(s.metrics, done)
+			j.mu.Unlock()
+		}),
+		testbench.WithMeter(newJobMeter(s.metrics)))
 	now := time.Now()
 	j.mu.Lock()
 	j.finished = &now
@@ -168,7 +169,10 @@ func (s *Server) run(ctx context.Context, cancel context.CancelFunc, j *job) {
 		j.state = StateFailed
 		j.err = err.Error()
 	}
+	state := j.state
 	j.mu.Unlock()
+	s.metrics.jobsInFlight.Add(-1)
+	s.metrics.jobsTotal.With(state).Inc()
 	close(j.done)
 }
 
@@ -211,13 +215,15 @@ func (s *Server) Jobs() []JobStatus {
 	return out
 }
 
-// Handler mounts the API.
+// Handler mounts the API, including GET /metrics, with every route
+// counted and timed by the per-route request instruments.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/campaigns", s.handleCampaigns)
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
-	return mux
+	mux.Handle("/metrics", metrics.Handler(s.metrics.reg, "docs/METRICS.md"))
+	return s.metrics.instrument(mux)
 }
 
 // handleCampaigns serves the registry catalogue (GET) and accepts new
@@ -297,6 +303,8 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, id string)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
+	s.metrics.sseSubs.Add(1)
+	defer s.metrics.sseSubs.Add(-1)
 	var last string
 	emit := func() bool {
 		st, ok := s.Job(id)

@@ -73,6 +73,7 @@ type runConfig struct {
 	workers    int
 	workersSet bool
 	progress   func(done, total int)
+	meter      campaign.Meter
 	sys        *core.System
 	scalar     bool
 }
@@ -91,6 +92,15 @@ func WithWorkers(n int) Option {
 // progress observes a run but never changes its result.
 func WithProgress(fn func(done, total int)) Option {
 	return func(c *runConfig) { c.progress = fn }
+}
+
+// WithMeter attaches a campaign.Meter to every streaming reduction of
+// the run — the hook the serve metrics layer uses to observe chunk
+// latency and worker saturation. Like WithProgress it is an observer:
+// it may be called concurrently, must not block, and never changes the
+// run's result.
+func WithMeter(m campaign.Meter) Option {
+	return func(c *runConfig) { c.meter = m }
 }
 
 // WithSystem pins the system the campaign runs on, bypassing the spec's
@@ -116,6 +126,7 @@ type Env struct {
 	resolved bool
 	workers  int
 	progress func(done, total int)
+	meter    campaign.Meter
 }
 
 // System resolves (once) the core.System the spec describes — the pinned
@@ -151,6 +162,7 @@ func (ev *Env) Engine() campaign.Engine {
 		Chunk:      ev.spec.Chunk,
 		Checkpoint: ev.spec.Checkpoint,
 		Progress:   ev.progress,
+		Meter:      ev.meter,
 	}
 }
 
@@ -195,7 +207,7 @@ func compile(spec Spec, opts ...Option) (*campaignDef, *Env, Spec, any, error) {
 		workers = cfg.workers
 		spec.Workers = workers
 	}
-	ev := &Env{spec: spec, override: cfg.sys, workers: workers, progress: cfg.progress}
+	ev := &Env{spec: spec, override: cfg.sys, workers: workers, progress: cfg.progress, meter: cfg.meter}
 	spec.Params = params
 	return def, ev, spec, params, nil
 }
